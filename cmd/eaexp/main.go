@@ -1,0 +1,309 @@
+// Command eaexp regenerates the paper's evaluation artifacts:
+//
+//	eaexp -exp fig5              energy source sample path (Figure 5)
+//	eaexp -exp fig6              remaining energy, U = 0.4 (Figure 6)
+//	eaexp -exp fig7              remaining energy, U = 0.8 (Figure 7)
+//	eaexp -exp fig8              miss rate vs capacity, U = 0.4 (Figure 8)
+//	eaexp -exp fig9              miss rate vs capacity, U = 0.8 (Figure 9)
+//	eaexp -exp table1            minimum-capacity ratios (Table 1)
+//	eaexp -exp all               everything
+//
+// Each experiment prints an ASCII chart or table and, with -csv DIR,
+// writes the raw series as CSV. -replications trades fidelity for time
+// (the paper used 5000 task sets per point).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/eadvfs/eadvfs/internal/experiment"
+	"github.com/eadvfs/eadvfs/internal/metrics"
+	"github.com/eadvfs/eadvfs/internal/plot"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment: fig5, fig6, fig7, fig8, fig9, table1, all")
+		reps  = flag.Int("replications", 0, "task sets per point (0 = experiment default)")
+		seed  = flag.Uint64("seed", 1, "master seed")
+		pmax  = flag.Float64("pmax", 10, "processor maximum power")
+		pred  = flag.String("predictor", "ewma", "harvest predictor")
+		csv   = flag.String("csv", "", "directory for CSV output (omit to skip)")
+		width = flag.Int("width", 72, "chart width in columns")
+	)
+	flag.Parse()
+
+	spec := experiment.DefaultSpec()
+	spec.Seed = *seed
+	spec.PMax = *pmax
+	spec.Predictor = *pred
+	if *reps > 0 {
+		spec.Replications = *reps
+	}
+
+	run := func(name string, f func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "eaexp %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	run("fig5", func() error { return fig5(spec, *csv, *width) })
+	run("fig6", func() error { return remaining(spec, 0.4, "fig6", *csv, *width) })
+	run("fig7", func() error { return remaining(spec, 0.8, "fig7", *csv, *width) })
+	run("fig8", func() error { return missRate(spec, 0.4, "fig8", *csv, *width) })
+	run("fig9", func() error { return missRate(spec, 0.8, "fig9", *csv, *width) })
+	run("table1", func() error { return table1(spec, *csv) })
+
+	// Sensitivity sweeps (beyond the paper; not part of -exp all).
+	runOnly := func(name string, f func() error) {
+		if *exp != name {
+			return
+		}
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "eaexp %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+	runOnly("sens-levels", func() error {
+		res, err := experiment.LevelCountSweep(spec, []float64{1, 2, 3, 5, 8, 12}, []string{"lsa", "ea-dvfs"})
+		if err != nil {
+			return err
+		}
+		return printSweep(res, *csv)
+	})
+	runOnly("sens-pmax", func() error {
+		res, err := experiment.PMaxSweep(spec, []float64{4, 6, 8, 10, 12, 16}, []string{"lsa", "ea-dvfs"})
+		if err != nil {
+			return err
+		}
+		return printSweep(res, *csv)
+	})
+	runOnly("sens-tasks", func() error {
+		res, err := experiment.TaskCountSweep(spec, []float64{1, 2, 5, 10, 20}, []string{"lsa", "ea-dvfs"})
+		if err != nil {
+			return err
+		}
+		return printSweep(res, *csv)
+	})
+	runOnly("overhead", func() error {
+		sp := spec
+		sp.Capacities = []float64{300}
+		policies := []string{"edf", "static-dvfs", "lsa", "ea-dvfs"}
+		res, err := experiment.Overhead(sp, policies)
+		if err != nil {
+			return err
+		}
+		header := []string{"policy", "missrate", "response", "switches", "preemptions", "decisions", "events"}
+		var rows [][]string
+		for _, name := range res.Policies {
+			rows = append(rows, []string{
+				name,
+				fmt.Sprintf("%.4f", res.MissRate[name]),
+				fmt.Sprintf("%.2f", res.ResponseMean[name]),
+				fmt.Sprintf("%.0f", res.Switches[name]),
+				fmt.Sprintf("%.0f", res.Preemptions[name]),
+				fmt.Sprintf("%.0f", res.Decisions[name]),
+				fmt.Sprintf("%.0f", res.Events[name]),
+			})
+		}
+		fmt.Println("Scheduling overhead per 10,000-unit run (mean over replications, capacity 300)")
+		fmt.Println(plot.Table(header, rows))
+		return nil
+	})
+	runOnly("convergence", func() error {
+		sp := spec
+		sp.Capacities = []float64{300}
+		counts := []int{5, 10, 20, 40}
+		if sp.Replications < 40 {
+			counts = []int{2, 5, sp.Replications}
+		}
+		header := []string{"replications", "miss rate", "stderr"}
+		for _, policy := range []string{"lsa", "ea-dvfs"} {
+			res, err := experiment.Convergence(sp, policy, counts)
+			if err != nil {
+				return err
+			}
+			var rows [][]string
+			for i, n := range res.Counts {
+				rows = append(rows, []string{
+					fmt.Sprintf("%d", n),
+					fmt.Sprintf("%.4f", res.Rate[i]),
+					fmt.Sprintf("%.4f", res.StdErr[i]),
+				})
+			}
+			fmt.Printf("Convergence of the %s miss-rate estimate (capacity 300)\n", policy)
+			fmt.Println(plot.Table(header, rows))
+		}
+		return nil
+	})
+	runOnly("sens-predictors", func() error {
+		res, err := experiment.PredictorSweep(spec,
+			[]string{"oracle", "ewma", "slot-ewma", "wcma", "moving-average", "last-value", "zero"},
+			[]string{"lsa", "ea-dvfs"})
+		if err != nil {
+			return err
+		}
+		return printSweep(res, *csv)
+	})
+
+	switch *exp {
+	case "all", "fig5", "fig6", "fig7", "fig8", "fig9", "table1",
+		"sens-levels", "sens-pmax", "sens-tasks", "sens-predictors",
+		"overhead", "convergence":
+	default:
+		fmt.Fprintf(os.Stderr, "eaexp: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}
+
+func printSweep(res *experiment.SensitivityResult, csvDir string) error {
+	header := append([]string{res.Param}, res.Policies...)
+	var rows [][]string
+	var csvB strings.Builder
+	csvB.WriteString(strings.Join(header, ","))
+	csvB.WriteByte('\n')
+	for i := range res.Points {
+		row := []string{res.PointLabel(i)}
+		csvB.WriteString(res.PointLabel(i))
+		for _, name := range res.Policies {
+			row = append(row, fmt.Sprintf("%.4f", res.Rates[name][i]))
+			fmt.Fprintf(&csvB, ",%g", res.Rates[name][i])
+		}
+		rows = append(rows, row)
+		csvB.WriteByte('\n')
+	}
+	fmt.Printf("Sensitivity sweep: deadline miss rate vs %s\n", res.Param)
+	fmt.Println(plot.Table(header, rows))
+	return writeCSV(csvDir, "sweep.csv", csvB.String())
+}
+
+func writeCSV(dir, name, content string) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644)
+}
+
+func seriesLine(name string, s *metrics.Series) plot.Line {
+	l := plot.Line{Name: name}
+	for i, v := range s.Values {
+		l.X = append(l.X, s.TimeAt(i))
+		l.Y = append(l.Y, v)
+	}
+	return l
+}
+
+func fig5(spec experiment.Spec, csvDir string, width int) error {
+	s := experiment.SourceTrace(spec.Seed, int(spec.Horizon))
+	line := seriesLine("PS(t)", s)
+	fmt.Println(plot.Chart("Figure 5: energy source behavior (eq. 13 sample path)",
+		width, 16, plot.Downsampled(line, width)))
+	return writeCSV(csvDir, "fig5.csv", plot.CSV("t", line))
+}
+
+func remaining(spec experiment.Spec, u float64, name, csvDir string, width int) error {
+	spec.Utilization = u
+	res, err := experiment.RemainingEnergy(spec, []string{"lsa", "ea-dvfs"})
+	if err != nil {
+		return err
+	}
+	lines := []plot.Line{
+		seriesLine("ea-dvfs", res.Curves["ea-dvfs"]),
+		seriesLine("lsa", res.Curves["lsa"]),
+	}
+	title := fmt.Sprintf("Figure %s: normalized remaining energy, U = %.1f (%d replications x %d capacities)",
+		strings.TrimPrefix(name, "fig"), u, spec.Replications, len(spec.Capacities))
+	down := make([]plot.Line, len(lines))
+	for i, l := range lines {
+		down[i] = plot.Downsampled(l, width)
+	}
+	fmt.Println(plot.Chart(title, width, 16, down...))
+	return writeCSV(csvDir, name+".csv", plot.CSV("t", lines...))
+}
+
+// FigureCapacities extends the paper's sweep into the small-capacity
+// region where the Figures 8–9 x axis starts.
+func figureCapacities() []float64 {
+	return []float64{50, 100, 200, 300, 500, 1000, 2000, 3000, 4000, 5000}
+}
+
+func missRate(spec experiment.Spec, u float64, name, csvDir string, width int) error {
+	spec.Utilization = u
+	spec.Capacities = figureCapacities()
+	res, err := experiment.MissRateSweep(spec, []string{"lsa", "ea-dvfs"})
+	if err != nil {
+		return err
+	}
+	var lines []plot.Line
+	for _, pn := range []string{"lsa", "ea-dvfs"} {
+		l := plot.Line{Name: pn}
+		for i := range res.Capacities {
+			l.X = append(l.X, res.NormalizedCapacity(i))
+			l.Y = append(l.Y, res.Rates[pn][i])
+		}
+		lines = append(lines, l)
+	}
+	title := fmt.Sprintf("Figure %s: deadline miss rate vs normalized storage capacity, U = %.1f (%d replications)",
+		strings.TrimPrefix(name, "fig"), u, spec.Replications)
+	fmt.Println(plot.Chart(title, width, 14, lines...))
+
+	header := []string{"capacity", "normalized", "lsa", "ea-dvfs", "reduction"}
+	var rows [][]string
+	for i, c := range res.Capacities {
+		lsa := res.Rates["lsa"][i]
+		ea := res.Rates["ea-dvfs"][i]
+		red := "-"
+		if lsa > 0 {
+			red = fmt.Sprintf("%.0f%%", 100*(1-ea/lsa))
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%.0f", c),
+			fmt.Sprintf("%.2f", res.NormalizedCapacity(i)),
+			fmt.Sprintf("%.4f", lsa),
+			fmt.Sprintf("%.4f", ea),
+			red,
+		})
+	}
+	fmt.Println(plot.Table(header, rows))
+	return writeCSV(csvDir, name+".csv", plot.CSV("normalized_capacity", lines...))
+}
+
+func table1(spec experiment.Spec, csvDir string) error {
+	utils := []float64{0.2, 0.4, 0.6, 0.8}
+	res, err := experiment.MinCapacity(spec, utils, []string{"lsa", "ea-dvfs"})
+	if err != nil {
+		return err
+	}
+	header := []string{"U", "Cmin(LSA)", "Cmin(EA-DVFS)", "ratio", "stderr"}
+	var rows [][]string
+	var csvB strings.Builder
+	csvB.WriteString("u,cmin_lsa,cmin_eadvfs,ratio,stderr\n")
+	for i, u := range res.Utilizations {
+		rows = append(rows, []string{
+			fmt.Sprintf("%.1f", u),
+			fmt.Sprintf("%.0f", res.Mean["lsa"][i]),
+			fmt.Sprintf("%.0f", res.Mean["ea-dvfs"][i]),
+			fmt.Sprintf("%.2f", res.Ratio[i]),
+			fmt.Sprintf("%.2f", res.RatioErr[i]),
+		})
+		fmt.Fprintf(&csvB, "%g,%g,%g,%g,%g\n", u,
+			res.Mean["lsa"][i], res.Mean["ea-dvfs"][i], res.Ratio[i], res.RatioErr[i])
+	}
+	fmt.Println("Table 1: minimum storage capacity for zero deadline misses, Cmin-LSA / Cmin-EA-DVFS")
+	fmt.Println(plot.Table(header, rows))
+	if res.Skipped > 0 {
+		fmt.Printf("(skipped %d replications with no zero-miss capacity in range)\n", res.Skipped)
+	}
+	return writeCSV(csvDir, "table1.csv", csvB.String())
+}

@@ -1,0 +1,131 @@
+// Command easim runs a single energy-harvesting real-time scheduling
+// simulation and prints a summary.
+//
+// Usage:
+//
+//	easim [-policy ea-dvfs] [-u 0.4] [-capacity 1000] [-horizon 10000]
+//	      [-tasks 5] [-seed 1] [-predictor ewma] [-pmax 10] [-energy]
+//	      [-analyze] [-json]
+//
+// Example:
+//
+//	easim -policy lsa -u 0.4 -capacity 300
+//	easim -policy ea-dvfs -u 0.4 -capacity 300 -analyze
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/eadvfs/eadvfs"
+	"github.com/eadvfs/eadvfs/internal/analysis"
+	"github.com/eadvfs/eadvfs/internal/energy"
+	"github.com/eadvfs/eadvfs/internal/experiment"
+)
+
+func main() {
+	var (
+		policy    = flag.String("policy", "ea-dvfs", "scheduling policy: ea-dvfs, ea-dvfs-dynamic, lsa, edf, static-dvfs, greedy-stretch")
+		predictor = flag.String("predictor", "ewma", "harvest predictor: ewma, oracle, slot-ewma, wcma, moving-average, last-value, zero")
+		u         = flag.Float64("u", 0.4, "target utilization of the generated task set")
+		numTasks  = flag.Int("tasks", 5, "number of periodic tasks")
+		capacity  = flag.Float64("capacity", 1000, "energy storage capacity")
+		horizon   = flag.Float64("horizon", 10000, "simulated time units")
+		seed      = flag.Uint64("seed", 1, "master seed (workload + solar sample path)")
+		pmax      = flag.Float64("pmax", 10, "processor maximum power (XScale table scaled)")
+		energyF   = flag.Bool("energy", false, "print the stored-energy trace statistics")
+		analyze   = flag.Bool("analyze", false, "print the analytic feasibility report for the workload")
+		jsonF     = flag.Bool("json", false, "emit the result as JSON")
+	)
+	flag.Parse()
+
+	res, err := eadvfs.Run(eadvfs.Config{
+		Horizon:      *horizon,
+		Policy:       *policy,
+		Predictor:    *predictor,
+		Capacity:     *capacity,
+		PMax:         *pmax,
+		NumTasks:     *numTasks,
+		Utilization:  *u,
+		Seed:         *seed,
+		RecordEnergy: *energyF,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "easim:", err)
+		os.Exit(1)
+	}
+
+	if *jsonF {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintln(os.Stderr, "easim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("policy            %s\n", res.Policy)
+	fmt.Printf("jobs released     %d\n", res.Released)
+	fmt.Printf("jobs finished     %d\n", res.Finished)
+	fmt.Printf("deadline misses   %d\n", res.Missed)
+	fmt.Printf("miss rate         %.4f\n", res.MissRate)
+	fmt.Printf("busy / idle / stall  %.1f / %.1f / %.1f\n", res.BusyTime, res.IdleTime, res.StallTime)
+	fmt.Printf("cpu energy        %.1f\n", res.CPUEnergy)
+	fmt.Printf("harvested         %.1f (overflowed %.1f)\n", res.HarvestedEnergy, res.OverflowEnergy)
+	fmt.Printf("final stored      %.1f / %.0f\n", res.FinalStored, *capacity)
+	fmt.Printf("level residency   ")
+	for i, lt := range res.LevelTime {
+		if i > 0 {
+			fmt.Printf(" / ")
+		}
+		fmt.Printf("%.1f", lt)
+	}
+	fmt.Println()
+
+	if *energyF && len(res.StoredEnergy) > 0 {
+		minV, maxV, sum := res.StoredEnergy[0], res.StoredEnergy[0], 0.0
+		for _, v := range res.StoredEnergy {
+			if v < minV {
+				minV = v
+			}
+			if v > maxV {
+				maxV = v
+			}
+			sum += v
+		}
+		fmt.Printf("stored energy     min %.1f  mean %.1f  max %.1f\n",
+			minV, sum/float64(len(res.StoredEnergy)), maxV)
+	}
+
+	if *analyze {
+		spec := experiment.DefaultSpec()
+		spec.Utilization = *u
+		spec.NumTasks = *numTasks
+		spec.Seed = *seed
+		spec.PMax = *pmax
+		rep, err := experiment.Replicate(spec, 0)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "easim:", err)
+			os.Exit(1)
+		}
+		src := energy.NewSolarModel(rep.SourceSeed)
+		report, err := analysis.Analyze(rep.Tasks, spec.Processor(), src, *horizon)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "easim:", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		fmt.Printf("analysis: U = %.3f, density = %.3f, EDF schedulable = %v\n",
+			report.Utilization, report.Density, report.EDFSchedulable)
+		fmt.Printf("  full-speed demand   %.2f vs mean supply %.2f (margin %+.0f%%, miss floor %.2f)\n",
+			report.FullSpeed.Demand, report.FullSpeed.MeanSupply,
+			100*report.FullSpeed.Margin, report.FullSpeed.MissFloor)
+		fmt.Printf("  min-feasible demand %.2f (margin %+.0f%%, miss floor %.2f)\n",
+			report.MinFeasible.Demand, 100*report.MinFeasible.Margin, report.MinFeasible.MissFloor)
+		fmt.Printf("  ride-through bound  %.0f (full speed) / %.0f (stretched)\n",
+			report.RideThroughFull, report.RideThroughMin)
+	}
+}

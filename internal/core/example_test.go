@@ -1,0 +1,23 @@
+package core_test
+
+import (
+	"fmt"
+
+	"github.com/eadvfs/eadvfs/internal/core"
+	"github.com/eadvfs/eadvfs/internal/cpu"
+)
+
+// The paper's §4.3 worked example: 32 units of available energy, τ1 =
+// (0, 16, 4) on the two-point processor with f_n = 0.25·f_max, P_n = 1,
+// P_max = 8. The plan reproduces the paper's sr_n = 32, sr_max = 4,
+// s1 = 0, s2 = 12.
+func ExampleComputePlan() {
+	plan := core.ComputePlan(cpu.Fig3(), 32, 0, 16, 4)
+	fmt.Printf("level %d feasible %v\n", plan.Level, plan.Feasible)
+	fmt.Printf("sr_n %.0f sr_max %.0f\n", plan.SRn, plan.SRmax)
+	fmt.Printf("s1 %.0f s2 %.0f sufficient %v\n", plan.S1, plan.S2, plan.SufficientEnergy(0))
+	// Output:
+	// level 0 feasible true
+	// sr_n 32 sr_max 4
+	// s1 0 s2 12 sufficient false
+}

@@ -1,0 +1,300 @@
+// Package cpu models the DVFS-enabled processor of the paper (§3.3, §5.1):
+// N discrete operating points with increasing clock frequency and power.
+// Speeds are normalized to the maximum frequency (S_n = f_n / f_max), so a
+// job's worst-case execution time w (quoted at f_max) takes w/S_n at point
+// n, and executing it there consumes P_n · w/S_n energy.
+package cpu
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// OperatingPoint is one DVFS level.
+type OperatingPoint struct {
+	FreqMHz float64 // clock frequency, informational
+	Power   float64 // power drawn while executing at this point
+}
+
+// Processor is an immutable DVFS processor description. Construct with New
+// or a preset.
+type Processor struct {
+	name   string
+	points []OperatingPoint // ascending frequency
+	speeds []float64        // points[i].FreqMHz / fmax
+
+	// IdlePower is drawn whenever the processor is powered but not
+	// executing. The paper treats idle power as zero (the storage
+	// recharges while the system idles); non-zero values are supported
+	// for ablations.
+	idlePower float64
+
+	// SwitchOverhead models the cost of a DVFS transition. The paper
+	// assumes it "negligible" (§5.1); non-zero values are an extension.
+	switchTime   float64
+	switchEnergy float64
+}
+
+// Option configures optional processor features.
+type Option func(*Processor)
+
+// WithIdlePower sets a non-zero idle power draw.
+func WithIdlePower(p float64) Option {
+	if p < 0 {
+		panic(fmt.Sprintf("cpu: negative idle power %v", p))
+	}
+	return func(c *Processor) { c.idlePower = p }
+}
+
+// WithSwitchOverhead sets the time and energy cost of one frequency change.
+func WithSwitchOverhead(time, energy float64) Option {
+	if time < 0 || energy < 0 {
+		panic(fmt.Sprintf("cpu: negative switch overhead (%v, %v)", time, energy))
+	}
+	return func(c *Processor) {
+		c.switchTime = time
+		c.switchEnergy = energy
+	}
+}
+
+// New builds a processor from operating points. Points are sorted by
+// frequency; frequencies must be positive and distinct, powers positive and
+// strictly increasing with frequency (a dominated point — slower *and*
+// hungrier — would never be selected and indicates a spec error).
+func New(name string, points []OperatingPoint, opts ...Option) *Processor {
+	if len(points) == 0 {
+		panic("cpu: no operating points")
+	}
+	pts := append([]OperatingPoint(nil), points...)
+	sort.Slice(pts, func(i, j int) bool { return pts[i].FreqMHz < pts[j].FreqMHz })
+	for i, p := range pts {
+		if p.FreqMHz <= 0 || math.IsNaN(p.FreqMHz) {
+			panic(fmt.Sprintf("cpu: invalid frequency %v", p.FreqMHz))
+		}
+		if p.Power <= 0 || math.IsNaN(p.Power) {
+			panic(fmt.Sprintf("cpu: invalid power %v", p.Power))
+		}
+		if i > 0 {
+			if p.FreqMHz == pts[i-1].FreqMHz {
+				panic(fmt.Sprintf("cpu: duplicate frequency %v", p.FreqMHz))
+			}
+			if p.Power <= pts[i-1].Power {
+				panic(fmt.Sprintf("cpu: power not increasing at %v MHz", p.FreqMHz))
+			}
+		}
+	}
+	fmax := pts[len(pts)-1].FreqMHz
+	speeds := make([]float64, len(pts))
+	for i, p := range pts {
+		speeds[i] = p.FreqMHz / fmax
+	}
+	c := &Processor{name: name, points: pts, speeds: speeds}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// XScale returns the paper's five-point processor "similar to Intel's
+// XScale" (§5.1): 150/400/600/800/1000 MHz. Powers follow the paper's
+// 80/400/1000/2000/3200 mW profile expressed in the repository's canonical
+// power unit (DESIGN.md §5.3), i.e. divided by 1000 so that the eq. (13)
+// source (mean ≈ 4.0) can sustain the processor (P_max = 3.2).
+func XScale() *Processor {
+	return New("xscale", []OperatingPoint{
+		{FreqMHz: 150, Power: 0.08},
+		{FreqMHz: 400, Power: 0.4},
+		{FreqMHz: 600, Power: 1.0},
+		{FreqMHz: 800, Power: 2.0},
+		{FreqMHz: 1000, Power: 3.2},
+	})
+}
+
+// XScaleScaled returns the XScale frequency/power profile with all powers
+// scaled so the maximum power equals pmax. The paper quotes the XScale
+// table in mW but runs harvest, storage and energy in unnamed units; the
+// relative powers are physical, the absolute scale is the experiment's
+// calibration knob (DESIGN.md §5.3).
+func XScaleScaled(pmax float64) *Processor {
+	if pmax <= 0 {
+		panic("cpu: non-positive pmax")
+	}
+	base := []float64{80, 400, 1000, 2000, 3200}
+	freqs := []float64{150, 400, 600, 800, 1000}
+	pts := make([]OperatingPoint, len(base))
+	for i := range base {
+		pts[i] = OperatingPoint{FreqMHz: freqs[i], Power: base[i] / 3200 * pmax}
+	}
+	return New("xscale", pts)
+}
+
+// XScaleMilliwatts returns the same processor with powers in the paper's
+// literal milliwatt figures, for users who work in mW/mJ units throughout.
+func XScaleMilliwatts() *Processor {
+	return New("xscale-mw", []OperatingPoint{
+		{FreqMHz: 150, Power: 80},
+		{FreqMHz: 400, Power: 400},
+		{FreqMHz: 600, Power: 1000},
+		{FreqMHz: 800, Power: 2000},
+		{FreqMHz: 1000, Power: 3200},
+	})
+}
+
+// TwoSpeed returns the two-point processor of the paper's motivational
+// example (§2): a high speed and a low speed, "the former twice as fast as
+// the latter. The power at high speed is 3 times as much as that in low
+// speed", with P_max = pmax.
+func TwoSpeed(pmax float64) *Processor {
+	if pmax <= 0 {
+		panic("cpu: non-positive pmax")
+	}
+	return New("two-speed", []OperatingPoint{
+		{FreqMHz: 500, Power: pmax / 3},
+		{FreqMHz: 1000, Power: pmax},
+	})
+}
+
+// Fig3 returns the processor of the paper's §4.3 example: f_n = 0.25·f_max
+// with P_n = 1 and P_max = 8 (intermediate points filled per a cubic-ish
+// spec are unnecessary — the example only exercises these two points).
+func Fig3() *Processor {
+	return New("fig3", []OperatingPoint{
+		{FreqMHz: 250, Power: 1},
+		{FreqMHz: 1000, Power: 8},
+	})
+}
+
+// PXA270 returns a six-point profile with the PXA270's frequency ladder
+// (104–624 MHz) and a convex active-power envelope representative of the
+// part, in watts. Useful for checking that results do not hinge on the
+// XScale table's particular shape.
+func PXA270() *Processor {
+	return New("pxa270", []OperatingPoint{
+		{FreqMHz: 104, Power: 0.116},
+		{FreqMHz: 208, Power: 0.250},
+		{FreqMHz: 312, Power: 0.420},
+		{FreqMHz: 416, Power: 0.640},
+		{FreqMHz: 520, Power: 0.900},
+		{FreqMHz: 624, Power: 1.200},
+	})
+}
+
+// SensorNodeMCU returns a two-point profile representative of a
+// sensor-node microcontroller with a run mode and a throttled mode — the
+// platform class of the paper's motivating deployments (Heliomote,
+// Prometheus). Powers in milliwatts.
+func SensorNodeMCU() *Processor {
+	return New("sensor-mcu", []OperatingPoint{
+		{FreqMHz: 4, Power: 3},
+		{FreqMHz: 8, Power: 8},
+	})
+}
+
+// Cubic generates an n-point processor whose power follows the classic
+// CMOS model P = k·f³ + staticPower, evenly spaced from fmax/n to fmax.
+// Useful for sensitivity studies on the number of DVFS levels.
+func Cubic(name string, n int, fmaxMHz, pmax, static float64) *Processor {
+	if n <= 0 {
+		panic("cpu: non-positive point count")
+	}
+	if fmaxMHz <= 0 || pmax <= static || static < 0 {
+		panic("cpu: invalid cubic spec")
+	}
+	k := (pmax - static) / math.Pow(fmaxMHz, 3)
+	pts := make([]OperatingPoint, n)
+	for i := 0; i < n; i++ {
+		f := fmaxMHz * float64(i+1) / float64(n)
+		pts[i] = OperatingPoint{FreqMHz: f, Power: static + k*math.Pow(f, 3)}
+	}
+	return New(name, pts)
+}
+
+// Name returns the processor's identifier.
+func (c *Processor) Name() string { return c.name }
+
+// Levels returns the number of operating points N.
+func (c *Processor) Levels() int { return len(c.points) }
+
+// Point returns operating point n (0-based, ascending frequency).
+func (c *Processor) Point(n int) OperatingPoint {
+	c.checkLevel(n)
+	return c.points[n]
+}
+
+// Speed returns S_n = f_n / f_max in (0, 1].
+func (c *Processor) Speed(n int) float64 {
+	c.checkLevel(n)
+	return c.speeds[n]
+}
+
+// Power returns P_n.
+func (c *Processor) Power(n int) float64 {
+	c.checkLevel(n)
+	return c.points[n].Power
+}
+
+// MaxLevel returns the index of the fastest point (N-1).
+func (c *Processor) MaxLevel() int { return len(c.points) - 1 }
+
+// MaxPower returns P_max.
+func (c *Processor) MaxPower() float64 { return c.points[len(c.points)-1].Power }
+
+// IdlePower returns the idle draw (0 in the paper's model).
+func (c *Processor) IdlePower() float64 { return c.idlePower }
+
+// SwitchOverhead returns the per-transition (time, energy) cost.
+func (c *Processor) SwitchOverhead() (time, energy float64) {
+	return c.switchTime, c.switchEnergy
+}
+
+// ExecTime returns how long work units of f_max-time take at level n.
+func (c *Processor) ExecTime(work float64, n int) float64 {
+	if work < 0 {
+		panic(fmt.Sprintf("cpu: negative work %v", work))
+	}
+	return work / c.Speed(n)
+}
+
+// ExecEnergy returns the energy to execute work units of f_max-time at
+// level n: P_n · work / S_n.
+func (c *Processor) ExecEnergy(work float64, n int) float64 {
+	return c.Power(n) * c.ExecTime(work, n)
+}
+
+// MinLevelFor returns the lowest operating point n that satisfies the
+// paper's inequality (6): work/S_n <= window, i.e. the job still meets its
+// deadline. The boolean is false when even f_max cannot fit the work in the
+// window (the caller then runs flat-out and the deadline will be missed).
+// A non-positive window with positive work is infeasible; zero work is
+// feasible at the lowest point.
+func (c *Processor) MinLevelFor(work, window float64) (int, bool) {
+	if work < 0 {
+		panic(fmt.Sprintf("cpu: negative work %v", work))
+	}
+	if work == 0 {
+		return 0, true
+	}
+	if window <= 0 {
+		return c.MaxLevel(), false
+	}
+	for n := 0; n < len(c.points); n++ {
+		if work/c.speeds[n] <= window {
+			return n, true
+		}
+	}
+	return c.MaxLevel(), false
+}
+
+// EnergyPerWork returns P_n / S_n — the energy cost of one unit of work at
+// level n. For any sensible DVFS table this is increasing in n, which is
+// exactly why stretching saves energy; exposed for tests and analysis.
+func (c *Processor) EnergyPerWork(n int) float64 {
+	return c.Power(n) / c.Speed(n)
+}
+
+func (c *Processor) checkLevel(n int) {
+	if n < 0 || n >= len(c.points) {
+		panic(fmt.Sprintf("cpu: level %d outside [0, %d)", n, len(c.points)))
+	}
+}

@@ -1,0 +1,193 @@
+// Package des implements the discrete-event simulation kernel: a
+// deterministic event queue keyed by simulation time with stable
+// tie-breaking, and a clock that dispatches events in order.
+//
+// The paper's evaluation (§5) is produced by "a discrete-event simulation in
+// C/C++"; this package is the Go equivalent of that substrate. Everything
+// above it (energy flows, scheduling decisions) is expressed as events.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Handler is the callback invoked when an event fires. now is the event's
+// timestamp, which equals the kernel clock at dispatch.
+type Handler func(now float64)
+
+// Event is a scheduled occurrence. Events are ordered by (Time, Priority,
+// insertion sequence); the sequence number makes dispatch order fully
+// deterministic even for simultaneous events with equal priority.
+type Event struct {
+	Time     float64
+	Priority int // lower fires first among equal times
+	Label    string
+	Handler  Handler
+
+	seq       uint64
+	index     int // heap index; -1 when not queued
+	cancelled bool
+}
+
+// Cancelled reports whether the event was cancelled before firing.
+func (e *Event) Cancelled() bool { return e.cancelled }
+
+// eventHeap is a min-heap over (Time, Priority, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	a, b := h[i], h[j]
+	if a.Time != b.Time {
+		return a.Time < b.Time
+	}
+	if a.Priority != b.Priority {
+		return a.Priority < b.Priority
+	}
+	return a.seq < b.seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is the simulation clock and event queue. The zero value is not
+// usable; construct with NewKernel.
+type Kernel struct {
+	now     float64
+	queue   eventHeap
+	nextSeq uint64
+	steps   uint64
+}
+
+// NewKernel returns a kernel with the clock at 0.
+func NewKernel() *Kernel {
+	return &Kernel{}
+}
+
+// Now returns the current simulation time.
+func (k *Kernel) Now() float64 { return k.now }
+
+// Steps returns the number of events dispatched so far.
+func (k *Kernel) Steps() uint64 { return k.steps }
+
+// Pending returns the number of queued (non-cancelled) events.
+func (k *Kernel) Pending() int {
+	n := 0
+	for _, e := range k.queue {
+		if !e.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+// At schedules handler to fire at absolute time t with the given priority.
+// Scheduling in the past (t < Now) panics: it would silently corrupt
+// causality, which in a simulator is always a bug upstream.
+func (k *Kernel) At(t float64, priority int, label string, handler Handler) *Event {
+	if math.IsNaN(t) {
+		panic("des: scheduling event at NaN time")
+	}
+	if t < k.now {
+		panic(fmt.Sprintf("des: scheduling %q at t=%v before now=%v", label, t, k.now))
+	}
+	e := &Event{Time: t, Priority: priority, Label: label, Handler: handler, seq: k.nextSeq, index: -1}
+	k.nextSeq++
+	heap.Push(&k.queue, e)
+	return e
+}
+
+// After schedules handler to fire delay time units from now.
+func (k *Kernel) After(delay float64, priority int, label string, handler Handler) *Event {
+	if delay < 0 {
+		panic(fmt.Sprintf("des: negative delay %v for %q", delay, label))
+	}
+	return k.At(k.now+delay, priority, label, handler)
+}
+
+// Cancel marks an event so it will be skipped at dispatch. Cancelling an
+// already-fired or already-cancelled event is a no-op.
+func (k *Kernel) Cancel(e *Event) {
+	if e == nil {
+		return
+	}
+	e.cancelled = true
+}
+
+// PeekTime returns the timestamp of the next non-cancelled event and true,
+// or (0, false) when the queue is drained.
+func (k *Kernel) PeekTime() (float64, bool) {
+	k.dropCancelled()
+	if len(k.queue) == 0 {
+		return 0, false
+	}
+	return k.queue[0].Time, true
+}
+
+func (k *Kernel) dropCancelled() {
+	for len(k.queue) > 0 && k.queue[0].cancelled {
+		heap.Pop(&k.queue)
+	}
+}
+
+// Step dispatches the next event. It returns false when no events remain.
+func (k *Kernel) Step() bool {
+	k.dropCancelled()
+	if len(k.queue) == 0 {
+		return false
+	}
+	e := heap.Pop(&k.queue).(*Event)
+	if e.Time < k.now {
+		panic(fmt.Sprintf("des: time went backwards: event %q at %v, now %v", e.Label, e.Time, k.now))
+	}
+	k.now = e.Time
+	k.steps++
+	if e.Handler != nil {
+		e.Handler(k.now)
+	}
+	return true
+}
+
+// RunUntil dispatches events until the clock would pass horizon or the
+// queue drains. Events exactly at the horizon are dispatched. On return the
+// clock is advanced to horizon if it had not reached it.
+func (k *Kernel) RunUntil(horizon float64) {
+	for {
+		t, ok := k.PeekTime()
+		if !ok || t > horizon {
+			break
+		}
+		k.Step()
+	}
+	if k.now < horizon {
+		k.now = horizon
+	}
+}
+
+// Run dispatches all remaining events.
+func (k *Kernel) Run() {
+	for k.Step() {
+	}
+}

@@ -1,0 +1,225 @@
+package des
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestDispatchOrderByTime(t *testing.T) {
+	k := NewKernel()
+	var got []float64
+	times := []float64{5, 1, 3, 2, 4, 0.5, 2.5}
+	for _, tm := range times {
+		tm := tm
+		k.At(tm, 0, "e", func(now float64) { got = append(got, now) })
+	}
+	k.Run()
+	if !sort.Float64sAreSorted(got) {
+		t.Fatalf("events fired out of order: %v", got)
+	}
+	if len(got) != len(times) {
+		t.Fatalf("dispatched %d events, want %d", len(got), len(times))
+	}
+}
+
+func TestTieBreakByPriorityThenSeq(t *testing.T) {
+	k := NewKernel()
+	var got []string
+	k.At(1, 2, "low", func(float64) { got = append(got, "low") })
+	k.At(1, 0, "hiA", func(float64) { got = append(got, "hiA") })
+	k.At(1, 0, "hiB", func(float64) { got = append(got, "hiB") })
+	k.At(1, 1, "mid", func(float64) { got = append(got, "mid") })
+	k.Run()
+	want := []string{"hiA", "hiB", "mid", "low"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dispatch order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestClockAdvances(t *testing.T) {
+	k := NewKernel()
+	k.At(3, 0, "a", func(now float64) {
+		if k.Now() != 3 {
+			t.Fatalf("Now() = %v inside event at t=3", k.Now())
+		}
+	})
+	k.Run()
+	if k.Now() != 3 {
+		t.Fatalf("final Now() = %v, want 3", k.Now())
+	}
+}
+
+func TestScheduleFromHandler(t *testing.T) {
+	k := NewKernel()
+	fired := 0
+	var chain func(now float64)
+	chain = func(now float64) {
+		fired++
+		if fired < 5 {
+			k.After(1, 0, "chain", chain)
+		}
+	}
+	k.At(0, 0, "chain", chain)
+	k.Run()
+	if fired != 5 {
+		t.Fatalf("chain fired %d times, want 5", fired)
+	}
+	if k.Now() != 4 {
+		t.Fatalf("Now() = %v, want 4", k.Now())
+	}
+}
+
+func TestCancel(t *testing.T) {
+	k := NewKernel()
+	fired := false
+	e := k.At(1, 0, "x", func(float64) { fired = true })
+	k.Cancel(e)
+	k.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !e.Cancelled() {
+		t.Fatal("Cancelled() = false after Cancel")
+	}
+}
+
+func TestCancelNilIsNoop(t *testing.T) {
+	k := NewKernel()
+	k.Cancel(nil) // must not panic
+}
+
+func TestCancelFromEarlierEvent(t *testing.T) {
+	k := NewKernel()
+	fired := false
+	e := k.At(2, 0, "victim", func(float64) { fired = true })
+	k.At(1, 0, "canceller", func(float64) { k.Cancel(e) })
+	k.Run()
+	if fired {
+		t.Fatal("event fired despite being cancelled by an earlier event")
+	}
+}
+
+func TestPastSchedulingPanics(t *testing.T) {
+	k := NewKernel()
+	k.At(5, 0, "a", nil)
+	k.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	k.At(1, 0, "late", nil)
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	k := NewKernel()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("After(-1) did not panic")
+		}
+	}()
+	k.After(-1, 0, "bad", nil)
+}
+
+func TestRunUntil(t *testing.T) {
+	k := NewKernel()
+	var got []float64
+	for _, tm := range []float64{1, 2, 3, 4, 5} {
+		tm := tm
+		k.At(tm, 0, "e", func(now float64) { got = append(got, now) })
+	}
+	k.RunUntil(3)
+	if len(got) != 3 {
+		t.Fatalf("RunUntil(3) dispatched %d events, want 3 (inclusive horizon)", len(got))
+	}
+	if k.Now() != 3 {
+		t.Fatalf("Now() = %v after RunUntil(3)", k.Now())
+	}
+	if k.Pending() != 2 {
+		t.Fatalf("Pending() = %d, want 2", k.Pending())
+	}
+}
+
+func TestRunUntilAdvancesClockPastLastEvent(t *testing.T) {
+	k := NewKernel()
+	k.At(1, 0, "only", nil)
+	k.RunUntil(10)
+	if k.Now() != 10 {
+		t.Fatalf("Now() = %v, want horizon 10", k.Now())
+	}
+}
+
+func TestPeekTimeSkipsCancelled(t *testing.T) {
+	k := NewKernel()
+	e := k.At(1, 0, "c", nil)
+	k.At(2, 0, "keep", nil)
+	k.Cancel(e)
+	tm, ok := k.PeekTime()
+	if !ok || tm != 2 {
+		t.Fatalf("PeekTime = (%v, %v), want (2, true)", tm, ok)
+	}
+}
+
+func TestStepsCount(t *testing.T) {
+	k := NewKernel()
+	for i := 0; i < 7; i++ {
+		k.At(float64(i), 0, "e", nil)
+	}
+	k.Run()
+	if k.Steps() != 7 {
+		t.Fatalf("Steps() = %d, want 7", k.Steps())
+	}
+}
+
+// Property: for any set of (time, priority) pairs, the dispatch sequence is
+// sorted by (time, priority, insertion order).
+func TestDispatchOrderProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) > 200 {
+			raw = raw[:200]
+		}
+		k := NewKernel()
+		type rec struct {
+			time float64
+			prio int
+			seq  int
+		}
+		var got []rec
+		for i, v := range raw {
+			tm := float64(v % 50)
+			prio := int(v/50) % 3
+			i := i
+			k.At(tm, prio, "p", func(now float64) {
+				got = append(got, rec{now, prio, i})
+			})
+		}
+		k.Run()
+		for i := 1; i < len(got); i++ {
+			a, b := got[i-1], got[i]
+			if a.time > b.time {
+				return false
+			}
+			if a.time == b.time && a.prio > b.prio {
+				return false
+			}
+			if a.time == b.time && a.prio == b.prio && a.seq > b.seq {
+				return false
+			}
+		}
+		return len(got) == len(raw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkScheduleDispatch(b *testing.B) {
+	k := NewKernel()
+	for i := 0; i < b.N; i++ {
+		k.At(k.Now()+1, 0, "e", nil)
+		k.Step()
+	}
+}

@@ -1,0 +1,82 @@
+package energy
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadTraceCSV parses a measured harvest profile from CSV into a Trace
+// source. The file must contain a power column named column (header row
+// required; other columns are ignored); one row per time unit in order.
+// Deployments record solar panel output this way, and the paper's whole
+// premise is that such profiles are what real predictors must track.
+func ReadTraceCSV(r io.Reader, name, column string) (*Trace, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("energy: reading trace header: %w", err)
+	}
+	col := -1
+	for i, h := range header {
+		if strings.EqualFold(strings.TrimSpace(h), column) {
+			col = i
+			break
+		}
+	}
+	if col == -1 {
+		return nil, fmt.Errorf("energy: column %q not in header %v", column, header)
+	}
+	var samples []float64
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("energy: reading trace line %d: %w", line, err)
+		}
+		if col >= len(rec) {
+			return nil, fmt.Errorf("energy: line %d has %d columns, need %d", line, len(rec), col+1)
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(rec[col]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("energy: line %d: %w", line, err)
+		}
+		if v < 0 {
+			return nil, fmt.Errorf("energy: line %d: negative power %v", line, v)
+		}
+		samples = append(samples, v)
+	}
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("energy: trace %q has no samples", name)
+	}
+	return NewTrace(name, samples), nil
+}
+
+// WriteTraceCSV writes a source's per-unit samples over [0, horizon) as a
+// two-column CSV (t, power) — the inverse of ReadTraceCSV, used to export
+// synthetic profiles for external tools.
+func WriteTraceCSV(w io.Writer, src Source, horizon int) error {
+	if horizon <= 0 {
+		return fmt.Errorf("energy: non-positive horizon %d", horizon)
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"t", "power"}); err != nil {
+		return err
+	}
+	for k := 0; k < horizon; k++ {
+		row := []string{
+			strconv.Itoa(k),
+			strconv.FormatFloat(src.PowerAt(float64(k)), 'g', -1, 64),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,111 @@
+package energy
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestReadTraceCSV(t *testing.T) {
+	in := "time,power,temp\n0, 3.5, 21\n1, 0, 20\n2, 12.25, 19\n"
+	tr, err := ReadTraceCSV(strings.NewReader(in), "panel", "power")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Name() != "panel" {
+		t.Fatalf("name = %q", tr.Name())
+	}
+	want := []float64{3.5, 0, 12.25}
+	for i, w := range want {
+		if tr.PowerAt(float64(i)) != w {
+			t.Fatalf("sample %d = %v, want %v", i, tr.PowerAt(float64(i)), w)
+		}
+	}
+}
+
+func TestReadTraceCSVCaseInsensitiveHeader(t *testing.T) {
+	in := "T,Power\n0,1\n"
+	if _, err := ReadTraceCSV(strings.NewReader(in), "x", "POWER"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadTraceCSVErrors(t *testing.T) {
+	cases := []string{
+		"",                  // no header
+		"time,watts\n0,1\n", // missing column
+		"power\nnope\n",     // non-numeric
+		"power\n-1\n",       // negative
+		"power\n",           // no samples
+		"a,power\n1\n",      // short row
+	}
+	for i, in := range cases {
+		if _, err := ReadTraceCSV(strings.NewReader(in), "x", "power"); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	src := NewSolarModel(9)
+	var b strings.Builder
+	if err := WriteTraceCSV(&b, src, 50); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ReadTraceCSV(strings.NewReader(b.String()), "rt", "power")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 50; k++ {
+		if tr.PowerAt(float64(k)) != src.PowerAt(float64(k)) {
+			t.Fatalf("round trip diverged at %d", k)
+		}
+	}
+}
+
+func TestWriteTraceCSVBadHorizon(t *testing.T) {
+	var b strings.Builder
+	if err := WriteTraceCSV(&b, NewConstant(1), 0); err == nil {
+		t.Fatal("zero horizon accepted")
+	}
+}
+
+// The shipped three-day profile loads from disk, drives predictors, and
+// has the expected diurnal structure (overcast second day).
+func TestShippedHarvestTrace(t *testing.T) {
+	f, err := os.Open("testdata/harvest_3day.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := ReadTraceCSV(f, "harvest-3day", "power")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Samples) != 1440 {
+		t.Fatalf("samples = %d, want 1440 (3 x 480)", len(tr.Samples))
+	}
+	dayEnergy := func(d int) float64 {
+		return Energy(tr, float64(d*480), float64((d+1)*480))
+	}
+	clear1, overcast, clear2 := dayEnergy(0), dayEnergy(1), dayEnergy(2)
+	if overcast > 0.5*clear1 {
+		t.Fatalf("second day not overcast: %v vs %v", overcast, clear1)
+	}
+	if clear1 <= 0 || clear2 <= 0 {
+		t.Fatal("clear days harvested nothing")
+	}
+	// A WCMA predictor learns the profile across the three days.
+	w := NewWCMA(480, 24, 3, 6)
+	for k := 0; k < 1440; k++ {
+		w.Observe(float64(k), tr.PowerAt(float64(k)))
+	}
+	noonNextDay := 1440 + 240.0
+	if p := w.PredictEnergy(noonNextDay, noonNextDay+20); p <= 0 {
+		t.Fatalf("WCMA predicts no noon harvest: %v", p)
+	}
+	nightNextDay := 1440 + 10.0
+	if p := w.PredictEnergy(nightNextDay, nightNextDay+20); p > 5 {
+		t.Fatalf("WCMA predicts night harvest: %v", p)
+	}
+}

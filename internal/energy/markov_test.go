@@ -1,0 +1,112 @@
+package energy
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMarkovWeatherValidation(t *testing.T) {
+	base := NewConstant(10)
+	for i, f := range []func(){
+		func() { NewMarkovWeather(nil, 1, 10, 10, 0.3) },
+		func() { NewMarkovWeather(base, 1, 0.5, 10, 0.3) },
+		func() { NewMarkovWeather(base, 1, 10, 0, 0.3) },
+		func() { NewMarkovWeather(base, 1, 10, 10, -0.1) },
+		func() { NewMarkovWeather(base, 1, 10, 10, 1.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMarkovWeatherDeterministicAndMemoized(t *testing.T) {
+	a := NewMarkovWeather(NewConstant(10), 7, 20, 10, 0.2)
+	b := NewMarkovWeather(NewConstant(10), 7, 20, 10, 0.2)
+	// Query out of order on a; in order on b.
+	late := a.PowerAt(500.5)
+	for k := 0; k <= 500; k++ {
+		b.PowerAt(float64(k))
+	}
+	if b.PowerAt(500.5) != late {
+		t.Fatal("sample path depends on query order or seed handling")
+	}
+	if a.PowerAt(500.9) != late {
+		t.Fatal("power not constant within unit interval")
+	}
+}
+
+func TestMarkovWeatherTwoLevels(t *testing.T) {
+	m := NewMarkovWeather(NewConstant(10), 3, 15, 5, 0.25)
+	seen := map[float64]bool{}
+	for k := 0; k < 2000; k++ {
+		seen[m.PowerAt(float64(k))] = true
+	}
+	if !seen[10] || !seen[2.5] {
+		t.Fatalf("expected both clear (10) and overcast (2.5) powers, saw %v", seen)
+	}
+	if len(seen) != 2 {
+		t.Fatalf("constant base must yield exactly two power levels, got %d", len(seen))
+	}
+}
+
+func TestMarkovWeatherMeanPower(t *testing.T) {
+	m := NewMarkovWeather(NewConstant(10), 11, 30, 10, 0.1)
+	// Stationary overcast share 10/40 = 0.25 → mean 10·(0.75 + 0.25·0.1).
+	want := 10 * (0.75 + 0.025)
+	if math.Abs(m.MeanPower()-want) > 1e-12 {
+		t.Fatalf("analytic mean = %v, want %v", m.MeanPower(), want)
+	}
+	// Empirical agreement within a few percent over a long run.
+	sum := 0.0
+	const n = 300000
+	for k := 0; k < n; k++ {
+		sum += m.PowerAt(float64(k))
+	}
+	if emp := sum / n; math.Abs(emp-want) > 0.05*want {
+		t.Fatalf("empirical mean %v deviates from %v", emp, want)
+	}
+}
+
+func TestMarkovWeatherSpellLengths(t *testing.T) {
+	m := NewMarkovWeather(NewConstant(1), 13, 40, 8, 0)
+	// Measure mean overcast spell length: count maximal runs of power 0.
+	var spells []int
+	run := 0
+	for k := 0; k < 100000; k++ {
+		if m.PowerAt(float64(k)) == 0 {
+			run++
+		} else if run > 0 {
+			spells = append(spells, run)
+			run = 0
+		}
+	}
+	if len(spells) < 100 {
+		t.Fatalf("only %d overcast spells", len(spells))
+	}
+	sum := 0
+	for _, s := range spells {
+		sum += s
+	}
+	mean := float64(sum) / float64(len(spells))
+	if math.Abs(mean-8) > 1.0 {
+		t.Fatalf("mean overcast spell %v, want ~8", mean)
+	}
+}
+
+func TestMarkovWeatherOverSolar(t *testing.T) {
+	m := NewMarkovWeather(NewSolarModel(5), 21, 50, 20, 0.3)
+	for k := 0; k < 1000; k++ {
+		if m.PowerAt(float64(k)) < 0 {
+			t.Fatal("negative power")
+		}
+	}
+	if m.Name() != "markov(solar-eq13)" {
+		t.Fatalf("name = %q", m.Name())
+	}
+}

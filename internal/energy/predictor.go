@@ -1,0 +1,244 @@
+package energy
+
+import (
+	"fmt"
+	"math"
+)
+
+// Predictor estimates the energy Ês(t1, t2) the source will deliver over a
+// future interval. Both LSA and EA-DVFS take scheduling decisions from this
+// estimate (eqs. 5 and 9 use ES(am, am+dm), which at decision time is a
+// prediction). Predictors learn online: the engine calls Observe once per
+// completed unit interval with the power that actually materialised.
+type Predictor interface {
+	// Observe records that the source output power p over [t, t+1).
+	// Observations arrive in non-decreasing time order.
+	Observe(t, p float64)
+	// PredictEnergy estimates the harvested energy over [t1, t2], t1 <= t2.
+	PredictEnergy(t1, t2 float64) float64
+	// Name identifies the predictor in reports.
+	Name() string
+}
+
+// Oracle predicts with perfect knowledge of the source — the upper bound on
+// predictor quality, used to separate algorithmic gains from prediction
+// error in the ablation benches.
+type Oracle struct {
+	Src Source
+}
+
+// NewOracle returns a perfect predictor for src.
+func NewOracle(src Source) *Oracle {
+	if src == nil {
+		panic("energy: nil source for oracle")
+	}
+	return &Oracle{Src: src}
+}
+
+func (o *Oracle) Observe(t, p float64) {}
+
+func (o *Oracle) PredictEnergy(t1, t2 float64) float64 {
+	return Energy(o.Src, t1, t2)
+}
+
+func (o *Oracle) Name() string { return "oracle" }
+
+// EWMA is a recency-weighted predictor: it tracks an exponentially weighted
+// moving average of the observed power and extrapolates it as constant over
+// the queried window. With task deadlines (≤ 100) much shorter than the
+// envelope period (≈ 691), recent output is the dominant signal — this is
+// the repository's default predictor (DESIGN.md §5.4).
+type EWMA struct {
+	Alpha float64 // weight of the newest observation, in (0, 1]
+	avg   float64
+	seen  bool
+}
+
+// NewEWMA returns an EWMA predictor. Alpha outside (0, 1] panics.
+func NewEWMA(alpha float64) *EWMA {
+	if alpha <= 0 || alpha > 1 {
+		panic(fmt.Sprintf("energy: EWMA alpha %v outside (0,1]", alpha))
+	}
+	return &EWMA{Alpha: alpha}
+}
+
+func (e *EWMA) Observe(t, p float64) {
+	if !e.seen {
+		e.avg = p
+		e.seen = true
+		return
+	}
+	e.avg = e.Alpha*p + (1-e.Alpha)*e.avg
+}
+
+func (e *EWMA) PredictEnergy(t1, t2 float64) float64 {
+	checkInterval(t1, t2)
+	return e.avg * (t2 - t1)
+}
+
+func (e *EWMA) Name() string { return "ewma" }
+
+// SlotEWMA is the Kansal-style profile predictor [6,9]: the source period
+// is divided into equal slots and an independent EWMA is maintained per
+// slot, learning the deterministic envelope across periods. Prediction
+// integrates the per-slot estimates across the queried window.
+type SlotEWMA struct {
+	Period  float64
+	Slots   int
+	Alpha   float64
+	avg     []float64
+	seenAny bool
+}
+
+// NewSlotEWMA returns a profile predictor with the given source period,
+// slot count and smoothing factor.
+func NewSlotEWMA(period float64, slots int, alpha float64) *SlotEWMA {
+	switch {
+	case period <= 0:
+		panic("energy: non-positive slot period")
+	case slots <= 0:
+		panic("energy: non-positive slot count")
+	case alpha <= 0 || alpha > 1:
+		panic("energy: slot alpha outside (0,1]")
+	}
+	avg := make([]float64, slots)
+	for i := range avg {
+		avg[i] = math.NaN() // unseen
+	}
+	return &SlotEWMA{Period: period, Slots: slots, Alpha: alpha, avg: avg}
+}
+
+func (s *SlotEWMA) slotOf(t float64) int {
+	phase := math.Mod(t, s.Period)
+	idx := int(phase / s.Period * float64(s.Slots))
+	if idx >= s.Slots {
+		idx = s.Slots - 1
+	}
+	return idx
+}
+
+func (s *SlotEWMA) Observe(t, p float64) {
+	i := s.slotOf(t)
+	if math.IsNaN(s.avg[i]) {
+		s.avg[i] = p
+	} else {
+		s.avg[i] = s.Alpha*p + (1-s.Alpha)*s.avg[i]
+	}
+	s.seenAny = true
+}
+
+// slotEstimate returns the learned power for slot i, falling back to the
+// mean of seen slots (or 0) for slots never observed.
+func (s *SlotEWMA) slotEstimate(i int) float64 {
+	if !math.IsNaN(s.avg[i]) {
+		return s.avg[i]
+	}
+	if !s.seenAny {
+		return 0
+	}
+	sum, n := 0.0, 0
+	for _, v := range s.avg {
+		if !math.IsNaN(v) {
+			sum += v
+			n++
+		}
+	}
+	return sum / float64(n)
+}
+
+func (s *SlotEWMA) PredictEnergy(t1, t2 float64) float64 {
+	checkInterval(t1, t2)
+	slotLen := s.Period / float64(s.Slots)
+	total := 0.0
+	t := t1
+	for t < t2 {
+		i := s.slotOf(t)
+		// end of this slot occurrence
+		slotStart := math.Floor(t/slotLen) * slotLen
+		end := math.Min(slotStart+slotLen, t2)
+		if end <= t { // guard against FP stall at slot boundaries
+			end = math.Min(t+slotLen, t2)
+		}
+		total += s.slotEstimate(i) * (end - t)
+		t = end
+	}
+	return total
+}
+
+func (s *SlotEWMA) Name() string { return "slot-ewma" }
+
+// MovingAverage predicts with the arithmetic mean of the last Window
+// observations, extrapolated as constant.
+type MovingAverage struct {
+	Window int
+	buf    []float64
+	next   int
+	filled int
+	sum    float64
+}
+
+// NewMovingAverage returns a moving-average predictor over the given window.
+func NewMovingAverage(window int) *MovingAverage {
+	if window <= 0 {
+		panic("energy: non-positive moving-average window")
+	}
+	return &MovingAverage{Window: window, buf: make([]float64, window)}
+}
+
+func (m *MovingAverage) Observe(t, p float64) {
+	if m.filled == m.Window {
+		m.sum -= m.buf[m.next]
+	} else {
+		m.filled++
+	}
+	m.buf[m.next] = p
+	m.sum += p
+	m.next = (m.next + 1) % m.Window
+}
+
+func (m *MovingAverage) PredictEnergy(t1, t2 float64) float64 {
+	checkInterval(t1, t2)
+	if m.filled == 0 {
+		return 0
+	}
+	return m.sum / float64(m.filled) * (t2 - t1)
+}
+
+func (m *MovingAverage) Name() string { return "moving-average" }
+
+// LastValue extrapolates the most recent observation — the cheapest
+// possible tracer of the profile.
+type LastValue struct {
+	last float64
+}
+
+// NewLastValue returns a last-value predictor.
+func NewLastValue() *LastValue { return &LastValue{} }
+
+func (l *LastValue) Observe(t, p float64) { l.last = p }
+
+func (l *LastValue) PredictEnergy(t1, t2 float64) float64 {
+	checkInterval(t1, t2)
+	return l.last * (t2 - t1)
+}
+
+func (l *LastValue) Name() string { return "last-value" }
+
+// Zero predicts no future harvest — the maximally pessimistic estimator.
+// Under Zero, LSA and EA-DVFS budget only the stored energy.
+type Zero struct{}
+
+func (Zero) Observe(t, p float64) {}
+
+func (Zero) PredictEnergy(t1, t2 float64) float64 {
+	checkInterval(t1, t2)
+	return 0
+}
+
+func (Zero) Name() string { return "zero" }
+
+func checkInterval(t1, t2 float64) {
+	if t2 < t1 || math.IsNaN(t1) || math.IsNaN(t2) {
+		panic(fmt.Sprintf("energy: prediction interval inverted [%v, %v]", t1, t2))
+	}
+}

@@ -1,0 +1,276 @@
+// Package energy models the environmental energy supply of the system:
+// harvesting sources (§3.1 of the paper) and harvested-energy predictors
+// ("we trace PS(t) profile to predict the harvested energy from a future
+// period", §3.1/§5.1).
+//
+// All sources are piecewise-constant over unit intervals [k, k+1): the
+// paper's simulator samples eq. (13) per time unit, and a piecewise-constant
+// supply is what makes the within-interval storage dynamics linear (see
+// internal/sim). Powers are in the repository's canonical power unit
+// (DESIGN.md §5.3) and times in simulation time units.
+package energy
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/eadvfs/eadvfs/internal/rng"
+)
+
+// Source is a harvesting power supply. PowerAt reports the (non-negative)
+// output power over the unit interval containing t; the value is constant
+// within each interval [k, k+1).
+type Source interface {
+	// PowerAt returns the harvested power at time t >= 0.
+	PowerAt(t float64) float64
+	// MeanPower returns the long-run average output power. The task-set
+	// generator (§5.1) sizes worst-case energies from this value.
+	MeanPower() float64
+	// Name identifies the source in reports.
+	Name() string
+}
+
+// Energy integrates src over [t1, t2] exactly, exploiting the
+// piecewise-constant-per-unit-interval contract. It is the simulator's
+// ES(t1, t2) (eq. 2).
+func Energy(src Source, t1, t2 float64) float64 {
+	if t2 < t1 {
+		panic(fmt.Sprintf("energy: Energy interval inverted [%v, %v]", t1, t2))
+	}
+	if t1 < 0 {
+		panic(fmt.Sprintf("energy: Energy interval starts before 0: %v", t1))
+	}
+	total := 0.0
+	t := t1
+	for t < t2 {
+		boundary := math.Floor(t) + 1
+		end := math.Min(boundary, t2)
+		total += src.PowerAt(t) * (end - t)
+		t = end
+	}
+	return total
+}
+
+// SolarModel is the paper's stochastic solar source (eq. 13):
+//
+//	PS(t) = 10 · |N(t)| · cos²(t / 70π)
+//
+// N(t) is resampled once per time unit. The paper writes N(t) ~ N(0,1), but
+// Figure 5 shows a non-negative trace, so the half-normal |N(t)| is used
+// (DESIGN.md §5.2). The cos² envelope gives the "periodic and deterministic
+// aspect" with period 70π² ≈ 691 time units.
+//
+// Samples are generated lazily and memoized so that PowerAt is a pure
+// function of t for a given seed — predictors and the engine may query any
+// interval in any order and always observe the same trace.
+type SolarModel struct {
+	Amplitude float64 // peak envelope scale; the paper uses 10
+	r         *rng.RNG
+	samples   []float64
+}
+
+// EnvelopePeriod is the period of the cos² envelope of eq. (13) in time
+// units: cos²(t/70π) repeats every 70π².
+const EnvelopePeriod = 70 * math.Pi * math.Pi
+
+// NewSolarModel returns the paper's eq. (13) source with Amplitude 10,
+// seeded deterministically.
+func NewSolarModel(seed uint64) *SolarModel {
+	return NewSolarModelAmp(seed, 10)
+}
+
+// NewSolarModelAmp returns an eq. (13) source with a custom amplitude.
+func NewSolarModelAmp(seed uint64, amplitude float64) *SolarModel {
+	if amplitude < 0 {
+		panic("energy: negative solar amplitude")
+	}
+	return &SolarModel{Amplitude: amplitude, r: rng.New(seed)}
+}
+
+// Envelope returns the deterministic cos² factor of eq. (13) at time t.
+func Envelope(t float64) float64 {
+	c := math.Cos(t / (70 * math.Pi))
+	return c * c
+}
+
+func (s *SolarModel) sample(k int) float64 {
+	for len(s.samples) <= k {
+		s.samples = append(s.samples, s.r.HalfNormal())
+	}
+	return s.samples[k]
+}
+
+// PowerAt implements Source.
+func (s *SolarModel) PowerAt(t float64) float64 {
+	if t < 0 {
+		panic("energy: PowerAt before t=0")
+	}
+	k := int(math.Floor(t))
+	return s.Amplitude * s.sample(k) * Envelope(float64(k))
+}
+
+// MeanPower implements Source: E[|N|]·E[cos²]·Amplitude = A·sqrt(2/π)/2.
+func (s *SolarModel) MeanPower() float64 {
+	return s.Amplitude * math.Sqrt(2/math.Pi) / 2
+}
+
+// Name implements Source.
+func (s *SolarModel) Name() string { return "solar-eq13" }
+
+// Constant is the constant-power source assumed by Allavena & Mossé [4] —
+// the assumption the paper calls "unpractical" but that remains useful for
+// unit tests and sanity baselines.
+type Constant struct {
+	P float64
+}
+
+// NewConstant returns a constant source. Negative power panics.
+func NewConstant(p float64) Constant {
+	if p < 0 {
+		panic("energy: negative constant power")
+	}
+	return Constant{P: p}
+}
+
+func (c Constant) PowerAt(t float64) float64 { return c.P }
+func (c Constant) MeanPower() float64        { return c.P }
+func (c Constant) Name() string              { return "constant" }
+
+// TwoMode is the coarse day/night solar model of Rusu et al. [5]: DayPower
+// during the first DayLen units of every Period, NightPower for the rest.
+type TwoMode struct {
+	DayPower   float64
+	NightPower float64
+	Period     float64
+	DayLen     float64
+}
+
+// NewTwoMode validates and returns a day/night source.
+func NewTwoMode(day, night, period, dayLen float64) TwoMode {
+	switch {
+	case day < 0 || night < 0:
+		panic("energy: negative two-mode power")
+	case period <= 0:
+		panic("energy: non-positive two-mode period")
+	case dayLen < 0 || dayLen > period:
+		panic("energy: day length outside [0, period]")
+	}
+	return TwoMode{DayPower: day, NightPower: night, Period: period, DayLen: dayLen}
+}
+
+func (m TwoMode) PowerAt(t float64) float64 {
+	phase := math.Mod(t, m.Period)
+	if phase < m.DayLen {
+		return m.DayPower
+	}
+	return m.NightPower
+}
+
+func (m TwoMode) MeanPower() float64 {
+	return (m.DayPower*m.DayLen + m.NightPower*(m.Period-m.DayLen)) / m.Period
+}
+
+func (m TwoMode) Name() string { return "two-mode" }
+
+// Trace replays a recorded power profile: sample k applies on [k, k+1).
+// Beyond the last sample the trace wraps around, modelling a repeating
+// measured day. An empty trace is invalid.
+type Trace struct {
+	Samples []float64
+	name    string
+}
+
+// NewTrace validates and returns a trace source.
+func NewTrace(name string, samples []float64) *Trace {
+	if len(samples) == 0 {
+		panic("energy: empty trace")
+	}
+	for i, s := range samples {
+		if s < 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+			panic(fmt.Sprintf("energy: invalid trace sample %v at %d", s, i))
+		}
+	}
+	return &Trace{Samples: samples, name: name}
+}
+
+func (tr *Trace) PowerAt(t float64) float64 {
+	if t < 0 {
+		panic("energy: PowerAt before t=0")
+	}
+	k := int(math.Floor(t)) % len(tr.Samples)
+	return tr.Samples[k]
+}
+
+func (tr *Trace) MeanPower() float64 {
+	sum := 0.0
+	for _, s := range tr.Samples {
+		sum += s
+	}
+	return sum / float64(len(tr.Samples))
+}
+
+func (tr *Trace) Name() string {
+	if tr.name == "" {
+		return "trace"
+	}
+	return tr.name
+}
+
+// Scaled multiplies another source's output by a constant gain — used to
+// re-scale a measured profile to a deployment's panel size.
+type Scaled struct {
+	Src  Source
+	Gain float64
+}
+
+// NewScaled validates and returns a scaled source.
+func NewScaled(src Source, gain float64) Scaled {
+	if gain < 0 {
+		panic("energy: negative gain")
+	}
+	if src == nil {
+		panic("energy: nil source")
+	}
+	return Scaled{Src: src, Gain: gain}
+}
+
+func (s Scaled) PowerAt(t float64) float64 { return s.Gain * s.Src.PowerAt(t) }
+func (s Scaled) MeanPower() float64        { return s.Gain * s.Src.MeanPower() }
+func (s Scaled) Name() string              { return "scaled(" + s.Src.Name() + ")" }
+
+// Sum combines multiple harvesting transducers feeding the same storage
+// (e.g. solar plus vibrational, §1).
+type Sum struct {
+	Srcs []Source
+}
+
+// NewSum validates and returns a summed source.
+func NewSum(srcs ...Source) Sum {
+	if len(srcs) == 0 {
+		panic("energy: empty sum")
+	}
+	for _, s := range srcs {
+		if s == nil {
+			panic("energy: nil source in sum")
+		}
+	}
+	return Sum{Srcs: srcs}
+}
+
+func (s Sum) PowerAt(t float64) float64 {
+	total := 0.0
+	for _, src := range s.Srcs {
+		total += src.PowerAt(t)
+	}
+	return total
+}
+
+func (s Sum) MeanPower() float64 {
+	total := 0.0
+	for _, src := range s.Srcs {
+		total += src.MeanPower()
+	}
+	return total
+}
+
+func (s Sum) Name() string { return "sum" }

@@ -1,0 +1,217 @@
+package experiment
+
+import (
+	"fmt"
+
+	"github.com/eadvfs/eadvfs/internal/energy"
+	"github.com/eadvfs/eadvfs/internal/metrics"
+)
+
+// SourceTrace regenerates Figure 5: one sample path of the eq. (13) solar
+// source, one sample per time unit over the horizon.
+func SourceTrace(seed uint64, horizon int) *metrics.Series {
+	if horizon <= 0 {
+		panic("experiment: non-positive horizon")
+	}
+	src := energy.NewSolarModel(seed)
+	s := metrics.NewSeries(0, 1, horizon)
+	for k := 0; k < horizon; k++ {
+		s.Values[k] = src.PowerAt(float64(k))
+	}
+	return s
+}
+
+// RemainingEnergyResult holds the Figures 6–7 curves: for each policy, the
+// normalized remaining energy EC(t)/C averaged with equal weight over the
+// capacity sweep and the replications (§5.2).
+type RemainingEnergyResult struct {
+	Spec   Spec
+	Curves map[string]*metrics.Series
+}
+
+// RemainingEnergy regenerates Figure 6 (spec.Utilization = 0.4) or
+// Figure 7 (0.8) for the named policies. Simulations run in parallel
+// across Parallelism workers; the result is deterministic.
+func RemainingEnergy(s Spec, policyNames []string) (*RemainingEnergyResult, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	factories, err := policyFactories(s, policyNames)
+	if err != nil {
+		return nil, err
+	}
+	reps, err := replicateAll(s)
+	if err != nil {
+		return nil, err
+	}
+
+	// One slot per (replication, capacity, policy).
+	nc, np := len(s.Capacities), len(policyNames)
+	series := make([]*metrics.Series, s.Replications*nc*np)
+	var jobs []job
+	for r := 0; r < s.Replications; r++ {
+		for ci := range s.Capacities {
+			for pi := range policyNames {
+				slot := (r*nc+ci)*np + pi
+				r, ci, pi := r, ci, pi
+				jobs = append(jobs, job{slot: slot, run: func() error {
+					res, err := RunOne(s, reps[r], s.Capacities[ci], factories[pi], true)
+					if err != nil {
+						return err
+					}
+					series[slot] = res.EnergySeries
+					return nil
+				}})
+			}
+		}
+	}
+	if err := runParallel(jobs); err != nil {
+		return nil, err
+	}
+
+	n := int(s.Horizon) + 1
+	acc := make(map[string]*metrics.Series, np)
+	for _, name := range policyNames {
+		acc[name] = metrics.NewSeries(0, 1, n)
+	}
+	for r := 0; r < s.Replications; r++ {
+		for ci, capacity := range s.Capacities {
+			for pi, name := range policyNames {
+				src := series[(r*nc+ci)*np+pi]
+				dst := acc[name].Values
+				for k, v := range src.Values {
+					dst[k] += v / capacity
+				}
+			}
+		}
+	}
+	div := float64(s.Replications * nc)
+	for _, sr := range acc {
+		for k := range sr.Values {
+			sr.Values[k] /= div
+		}
+	}
+	return &RemainingEnergyResult{Spec: s, Curves: acc}, nil
+}
+
+// MissRateResult holds a Figures 8–9 sweep: per policy, the deadline miss
+// rate at each storage capacity (jobs missed / jobs released, pooled over
+// replications).
+type MissRateResult struct {
+	Spec       Spec
+	Capacities []float64
+	// Rates[policy][i] is the miss rate at Capacities[i].
+	Rates map[string][]float64
+	// Stats carries the pooled tallies for confidence reporting.
+	Stats map[string][]metrics.MissStats
+	// StdErr[policy][i] is the standard error of the per-replication
+	// miss rate — the error bar of the pooled point.
+	StdErr map[string][]float64
+}
+
+// NormalizedCapacity returns capacity i divided by the largest capacity in
+// the sweep — the figures' x axis.
+func (m *MissRateResult) NormalizedCapacity(i int) float64 {
+	maxC := m.Capacities[len(m.Capacities)-1]
+	return m.Capacities[i] / maxC
+}
+
+// MissRateSweep regenerates Figure 8 (U = 0.4) or Figure 9 (U = 0.8).
+// Simulations run in parallel across Parallelism workers; the pooled
+// tallies are merged in deterministic order.
+func MissRateSweep(s Spec, policyNames []string) (*MissRateResult, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	factories, err := policyFactories(s, policyNames)
+	if err != nil {
+		return nil, err
+	}
+	reps, err := replicateAll(s)
+	if err != nil {
+		return nil, err
+	}
+
+	nc, np := len(s.Capacities), len(policyNames)
+	tallies := make([]metrics.MissStats, s.Replications*nc*np)
+	var jobs []job
+	for r := 0; r < s.Replications; r++ {
+		for ci := range s.Capacities {
+			for pi := range policyNames {
+				slot := (r*nc+ci)*np + pi
+				r, ci, pi := r, ci, pi
+				jobs = append(jobs, job{slot: slot, run: func() error {
+					res, err := RunOne(s, reps[r], s.Capacities[ci], factories[pi], false)
+					if err != nil {
+						return err
+					}
+					tallies[slot] = res.Miss
+					return nil
+				}})
+			}
+		}
+	}
+	if err := runParallel(jobs); err != nil {
+		return nil, err
+	}
+
+	out := &MissRateResult{
+		Spec:       s,
+		Capacities: append([]float64(nil), s.Capacities...),
+		Rates:      make(map[string][]float64, np),
+		Stats:      make(map[string][]metrics.MissStats, np),
+		StdErr:     make(map[string][]float64, np),
+	}
+	acc := make(map[string][]metrics.Welford, np)
+	for _, name := range policyNames {
+		out.Rates[name] = make([]float64, nc)
+		out.Stats[name] = make([]metrics.MissStats, nc)
+		out.StdErr[name] = make([]float64, nc)
+		acc[name] = make([]metrics.Welford, nc)
+	}
+	for r := 0; r < s.Replications; r++ {
+		for ci := range s.Capacities {
+			for pi, name := range policyNames {
+				tally := tallies[(r*nc+ci)*np+pi]
+				out.Stats[name][ci].Add(tally)
+				acc[name][ci].Add(tally.Rate())
+			}
+		}
+	}
+	for _, name := range policyNames {
+		for ci := range s.Capacities {
+			out.Rates[name][ci] = out.Stats[name][ci].Rate()
+			out.StdErr[name][ci] = acc[name][ci].StdErr()
+		}
+	}
+	return out, nil
+}
+
+// replicateAll derives every replication up front (cheap; keeps worker
+// closures free of generator state).
+func replicateAll(s Spec) ([]Replication, error) {
+	reps := make([]Replication, s.Replications)
+	for r := range reps {
+		var err error
+		reps[r], err = Replicate(s, r)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return reps, nil
+}
+
+func policyFactories(s Spec, names []string) ([]PolicyFactory, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("experiment: no policies requested")
+	}
+	fs := make([]PolicyFactory, len(names))
+	for i, n := range names {
+		f, err := s.PolicyFor(n)
+		if err != nil {
+			return nil, err
+		}
+		fs[i] = f
+	}
+	return fs, nil
+}

@@ -1,0 +1,191 @@
+package experiment
+
+import (
+	"errors"
+
+	"github.com/eadvfs/eadvfs/internal/metrics"
+)
+
+// OverheadResult reports the runtime cost side of each policy — the
+// paper assumes DVFS switching is free (§5.1) and never counts
+// preemptions or scheduler invocations; this experiment makes those
+// visible so the assumption can be judged.
+type OverheadResult struct {
+	Spec     Spec
+	Policies []string
+	// Per policy, mean per-run counters over the replications.
+	Switches    map[string]float64
+	Preemptions map[string]float64
+	Decisions   map[string]float64
+	Events      map[string]float64
+	// MissRate carries the effectiveness alongside the cost.
+	MissRate map[string]float64
+	// ResponseMean is the mean on-time job response time, averaged over
+	// tasks and replications.
+	ResponseMean map[string]float64
+}
+
+// Overhead measures scheduling overhead counters for the named policies
+// at one storage capacity (the first in the spec's sweep).
+func Overhead(s Spec, policyNames []string) (*OverheadResult, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	factories, err := policyFactories(s, policyNames)
+	if err != nil {
+		return nil, err
+	}
+	reps, err := replicateAll(s)
+	if err != nil {
+		return nil, err
+	}
+	capacity := s.Capacities[0]
+
+	type counters struct {
+		switches, preempts, decisions, events float64
+		miss                                  metrics.MissStats
+		resp                                  metrics.Welford
+	}
+	np := len(policyNames)
+	slots := make([]counters, s.Replications*np)
+	var jobs []job
+	for r := 0; r < s.Replications; r++ {
+		for pi := range policyNames {
+			slot := r*np + pi
+			r, pi := r, pi
+			jobs = append(jobs, job{slot: slot, run: func() error {
+				res, err := RunOne(s, reps[r], capacity, factories[pi], false)
+				if err != nil {
+					return err
+				}
+				c := &slots[slot]
+				c.switches = float64(res.Switches)
+				c.preempts = float64(res.Preemptions)
+				c.decisions = float64(res.Decisions)
+				c.events = float64(res.Events)
+				c.miss = res.Miss
+				for _, ts := range res.PerTask {
+					if ts.Finished > 0 {
+						c.resp.Add(ts.ResponseMean)
+					}
+				}
+				return nil
+			}})
+		}
+	}
+	if err := runParallel(jobs); err != nil {
+		return nil, err
+	}
+
+	out := &OverheadResult{
+		Spec:         s,
+		Policies:     append([]string(nil), policyNames...),
+		Switches:     map[string]float64{},
+		Preemptions:  map[string]float64{},
+		Decisions:    map[string]float64{},
+		Events:       map[string]float64{},
+		MissRate:     map[string]float64{},
+		ResponseMean: map[string]float64{},
+	}
+	for pi, name := range policyNames {
+		var sw, pr, de, ev, rsp metrics.Welford
+		var miss metrics.MissStats
+		for r := 0; r < s.Replications; r++ {
+			c := slots[r*np+pi]
+			sw.Add(c.switches)
+			pr.Add(c.preempts)
+			de.Add(c.decisions)
+			ev.Add(c.events)
+			if c.resp.N() > 0 {
+				rsp.Add(c.resp.Mean())
+			}
+			miss.Add(c.miss)
+		}
+		out.Switches[name] = sw.Mean()
+		out.Preemptions[name] = pr.Mean()
+		out.Decisions[name] = de.Mean()
+		out.Events[name] = ev.Mean()
+		out.MissRate[name] = miss.Rate()
+		out.ResponseMean[name] = rsp.Mean()
+	}
+	return out, nil
+}
+
+// ConvergenceResult reports how the pooled miss-rate estimate tightens as
+// replications accumulate — the tool for choosing a replication count
+// (the paper used 5 000; the harness defaults are chosen from this).
+type ConvergenceResult struct {
+	Policy string
+	// Counts are the replication counts evaluated.
+	Counts []int
+	// Rate[i] and StdErr[i] are the pooled estimate and its standard
+	// error using the first Counts[i] replications.
+	Rate   []float64
+	StdErr []float64
+}
+
+// Convergence evaluates the miss-rate estimate at increasing replication
+// counts (each a prefix of the same replication stream, so the sequence
+// is consistent).
+func Convergence(s Spec, policy string, counts []int) (*ConvergenceResult, error) {
+	if len(counts) == 0 {
+		return nil, errEmptyCounts
+	}
+	maxN := 0
+	for _, n := range counts {
+		if n <= 0 {
+			return nil, errEmptyCounts
+		}
+		if n > maxN {
+			maxN = n
+		}
+	}
+	spec := s
+	spec.Replications = maxN
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	pf, err := spec.PolicyFor(policy)
+	if err != nil {
+		return nil, err
+	}
+	capacity := spec.Capacities[0]
+
+	rates := make([]float64, maxN)
+	tallies := make([]metrics.MissStats, maxN)
+	var jobs []job
+	for r := 0; r < maxN; r++ {
+		rep, err := Replicate(spec, r)
+		if err != nil {
+			return nil, err
+		}
+		r, rep := r, rep
+		jobs = append(jobs, job{slot: r, run: func() error {
+			res, err := RunOne(spec, rep, capacity, pf, false)
+			if err != nil {
+				return err
+			}
+			rates[r] = res.Miss.Rate()
+			tallies[r] = res.Miss
+			return nil
+		}})
+	}
+	if err := runParallel(jobs); err != nil {
+		return nil, err
+	}
+
+	out := &ConvergenceResult{Policy: policy, Counts: append([]int(nil), counts...)}
+	for _, n := range counts {
+		var w metrics.Welford
+		var pooled metrics.MissStats
+		for r := 0; r < n; r++ {
+			w.Add(rates[r])
+			pooled.Add(tallies[r])
+		}
+		out.Rate = append(out.Rate, pooled.Rate())
+		out.StdErr = append(out.StdErr, w.StdErr())
+	}
+	return out, nil
+}
+
+var errEmptyCounts = errors.New("experiment: convergence counts must be positive and non-empty")

@@ -1,0 +1,102 @@
+package experiment
+
+import (
+	"testing"
+)
+
+func TestOverheadCounters(t *testing.T) {
+	s := testSpec()
+	s.Capacities = []float64{300}
+	res, err := Overhead(s, []string{"edf", "lsa", "ea-dvfs"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range res.Policies {
+		if res.Decisions[name] <= 0 || res.Events[name] <= 0 {
+			t.Fatalf("%s: empty counters %+v", name, res)
+		}
+		if res.MissRate[name] < 0 || res.MissRate[name] > 1 {
+			t.Fatalf("%s: miss rate %v", name, res.MissRate[name])
+		}
+		if res.ResponseMean[name] < 0 {
+			t.Fatalf("%s: response %v", name, res.ResponseMean[name])
+		}
+	}
+	// EDF never changes level (always max): zero DVFS switches.
+	if res.Switches["edf"] != 0 {
+		t.Fatalf("EDF switched levels %v times", res.Switches["edf"])
+	}
+	// EA-DVFS uses multiple levels: it must switch sometimes.
+	if res.Switches["ea-dvfs"] == 0 {
+		t.Fatal("EA-DVFS never switched operating points")
+	}
+	// Full-speed policies finish jobs sooner: their mean response must
+	// not exceed the stretching policy's.
+	if res.ResponseMean["edf"] > res.ResponseMean["ea-dvfs"]+1e-9 {
+		t.Fatalf("EDF response %v exceeds EA-DVFS %v",
+			res.ResponseMean["edf"], res.ResponseMean["ea-dvfs"])
+	}
+}
+
+func TestOverheadErrors(t *testing.T) {
+	s := testSpec()
+	if _, err := Overhead(s, []string{"bogus"}); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	s.Horizon = 0
+	if _, err := Overhead(s, []string{"edf"}); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+}
+
+func TestConvergenceTightens(t *testing.T) {
+	s := testSpec()
+	s.Capacities = []float64{200}
+	res, err := Convergence(s, "lsa", []int{2, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rate) != 2 || len(res.StdErr) != 2 {
+		t.Fatalf("shape: %+v", res)
+	}
+	// More replications: the standard error must not grow substantially.
+	if res.StdErr[1] > res.StdErr[0]*1.5+1e-9 {
+		t.Fatalf("stderr grew with replications: %v -> %v", res.StdErr[0], res.StdErr[1])
+	}
+	for _, r := range res.Rate {
+		if r < 0 || r > 1 {
+			t.Fatalf("rate %v", r)
+		}
+	}
+}
+
+func TestConvergencePrefixConsistency(t *testing.T) {
+	// The n-replication estimate must be identical whether computed
+	// directly or as a prefix of a longer stream.
+	s := testSpec()
+	s.Capacities = []float64{200}
+	long, err := Convergence(s, "ea-dvfs", []int{3, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	short, err := Convergence(s, "ea-dvfs", []int{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if long.Rate[0] != short.Rate[0] {
+		t.Fatalf("prefix inconsistency: %v vs %v", long.Rate[0], short.Rate[0])
+	}
+}
+
+func TestConvergenceErrors(t *testing.T) {
+	s := testSpec()
+	if _, err := Convergence(s, "lsa", nil); err == nil {
+		t.Fatal("empty counts accepted")
+	}
+	if _, err := Convergence(s, "lsa", []int{0}); err == nil {
+		t.Fatal("zero count accepted")
+	}
+	if _, err := Convergence(s, "bogus", []int{2}); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}

@@ -1,0 +1,86 @@
+package experiment
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Parallelism is the number of worker goroutines experiment runners use
+// for independent simulations. Each simulation is single-threaded and
+// fully self-contained (per-run store, predictor and policy state), so
+// replications parallelize embarrassingly; results are merged in a
+// deterministic order regardless of completion order.
+var Parallelism = runtime.GOMAXPROCS(0)
+
+// job is one unit of parallel work, identified by its slot in the output.
+type job struct {
+	slot int
+	run  func() error
+}
+
+// runParallel executes jobs across min(Parallelism, len(jobs)) workers and
+// returns the first error (by slot order) if any failed. Each job writes
+// its result into caller-owned, slot-indexed storage, which keeps merging
+// deterministic.
+func runParallel(jobs []job) error {
+	workers := Parallelism
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		errs = make(map[int]error)
+		next int
+	)
+	if workers == 1 {
+		// Serial path: same all-jobs, lowest-slot-error semantics.
+		for _, j := range jobs {
+			if err := j.run(); err != nil {
+				errs[j.slot] = err
+			}
+		}
+		return lowestSlotError(errs)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if next >= len(jobs) {
+					mu.Unlock()
+					return
+				}
+				j := jobs[next]
+				next++
+				mu.Unlock()
+				if err := j.run(); err != nil {
+					mu.Lock()
+					errs[j.slot] = err
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return lowestSlotError(errs)
+}
+
+// lowestSlotError returns the recorded error with the smallest slot, for
+// deterministic reporting, or nil.
+func lowestSlotError(errs map[int]error) error {
+	best := -1
+	for slot := range errs {
+		if best == -1 || slot < best {
+			best = slot
+		}
+	}
+	if best == -1 {
+		return nil
+	}
+	return errs[best]
+}

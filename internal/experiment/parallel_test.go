@@ -1,0 +1,86 @@
+package experiment
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunParallelExecutesAll(t *testing.T) {
+	const n = 100
+	var count int64
+	var jobs []job
+	for i := 0; i < n; i++ {
+		jobs = append(jobs, job{slot: i, run: func() error {
+			atomic.AddInt64(&count, 1)
+			return nil
+		}})
+	}
+	if err := runParallel(jobs); err != nil {
+		t.Fatal(err)
+	}
+	if count != n {
+		t.Fatalf("executed %d of %d jobs", count, n)
+	}
+}
+
+func TestRunParallelReportsLowestSlotError(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	jobs := []job{
+		{slot: 5, run: func() error { return errB }},
+		{slot: 2, run: func() error { return errA }},
+		{slot: 9, run: func() error { return nil }},
+	}
+	if err := runParallel(jobs); err != errA {
+		t.Fatalf("got %v, want the slot-2 error", err)
+	}
+}
+
+func TestRunParallelEmptyAndSerial(t *testing.T) {
+	if err := runParallel(nil); err != nil {
+		t.Fatal(err)
+	}
+	old := Parallelism
+	defer func() { Parallelism = old }()
+	Parallelism = 1
+	ran := false
+	if err := runParallel([]job{{slot: 0, run: func() error { ran = true; return nil }}}); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("serial path did not run the job")
+	}
+	Parallelism = 0 // degenerate setting must still work
+	if err := runParallel([]job{{slot: 0, run: func() error { return nil }}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Parallel and serial execution of a sweep must produce identical results
+// — the merge is slot-ordered, not completion-ordered.
+func TestParallelDeterminism(t *testing.T) {
+	s := testSpec()
+	s.Capacities = []float64{150, 600}
+
+	old := Parallelism
+	defer func() { Parallelism = old }()
+
+	Parallelism = 8
+	par, err := MissRateSweep(s, []string{"lsa", "ea-dvfs"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	Parallelism = 1
+	ser, err := MissRateSweep(s, []string{"lsa", "ea-dvfs"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name := range par.Rates {
+		for i := range par.Rates[name] {
+			if par.Rates[name][i] != ser.Rates[name][i] {
+				t.Fatalf("%s[%d]: parallel %v != serial %v", name, i, par.Rates[name][i], ser.Rates[name][i])
+			}
+		}
+	}
+}

@@ -1,0 +1,207 @@
+package experiment
+
+import (
+	"fmt"
+
+	"github.com/eadvfs/eadvfs/internal/cpu"
+	"github.com/eadvfs/eadvfs/internal/energy"
+	"github.com/eadvfs/eadvfs/internal/metrics"
+	"github.com/eadvfs/eadvfs/internal/sim"
+	"github.com/eadvfs/eadvfs/internal/storage"
+)
+
+// SensitivityResult holds one parameter sweep: the miss rate of each
+// policy at each sweep point, pooled over replications.
+type SensitivityResult struct {
+	Param  string
+	Points []float64
+	// Labels names the points when they are categorical (predictor
+	// sweeps); nil for numeric sweeps.
+	Labels   []string
+	Policies []string
+	// Rates[policy][i] is the pooled miss rate at Points[i].
+	Rates map[string][]float64
+}
+
+// PointLabel returns the display label of point i.
+func (r *SensitivityResult) PointLabel(i int) string {
+	if r.Labels != nil {
+		return r.Labels[i]
+	}
+	return fmt.Sprintf("%g", r.Points[i])
+}
+
+// sweepRunner builds the per-point sim config; the capacity, workload and
+// predictor come from the spec unless the sweep overrides them.
+type sweepRunner func(s Spec, rep Replication, point float64, pf PolicyFactory) (*sim.Result, error)
+
+// runSweep executes a generic (point × replication × policy) sweep in
+// parallel with deterministic pooling.
+func runSweep(s Spec, param string, points []float64, policyNames []string, run sweepRunner) (*SensitivityResult, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if len(points) == 0 {
+		return nil, fmt.Errorf("experiment: empty %s sweep", param)
+	}
+	factories, err := policyFactories(s, policyNames)
+	if err != nil {
+		return nil, err
+	}
+	reps, err := replicateAll(s)
+	if err != nil {
+		return nil, err
+	}
+	np, nc := len(policyNames), len(points)
+	tallies := make([]metrics.MissStats, s.Replications*nc*np)
+	var jobs []job
+	for r := 0; r < s.Replications; r++ {
+		for ci := range points {
+			for pi := range policyNames {
+				slot := (r*nc+ci)*np + pi
+				r, ci, pi := r, ci, pi
+				jobs = append(jobs, job{slot: slot, run: func() error {
+					res, err := run(s, reps[r], points[ci], factories[pi])
+					if err != nil {
+						return err
+					}
+					tallies[slot] = res.Miss
+					return nil
+				}})
+			}
+		}
+	}
+	if err := runParallel(jobs); err != nil {
+		return nil, err
+	}
+	out := &SensitivityResult{
+		Param:    param,
+		Points:   append([]float64(nil), points...),
+		Policies: append([]string(nil), policyNames...),
+		Rates:    make(map[string][]float64, np),
+	}
+	for _, name := range policyNames {
+		out.Rates[name] = make([]float64, nc)
+	}
+	pooled := make(map[string][]metrics.MissStats, np)
+	for _, name := range policyNames {
+		pooled[name] = make([]metrics.MissStats, nc)
+	}
+	for r := 0; r < s.Replications; r++ {
+		for ci := range points {
+			for pi, name := range policyNames {
+				pooled[name][ci].Add(tallies[(r*nc+ci)*np+pi])
+			}
+		}
+	}
+	for _, name := range policyNames {
+		for ci := range points {
+			out.Rates[name][ci] = pooled[name][ci].Rate()
+		}
+	}
+	return out, nil
+}
+
+// defaultSweepCapacity is the storage size sensitivity sweeps run at: the
+// steep region of Figure 8 where policy differences are visible.
+const defaultSweepCapacity = 300
+
+// LevelCountSweep measures the miss rate as the number of DVFS operating
+// points grows (cubic power model at the spec's PMax). One point would be
+// no DVFS at all; the XScale table has five. The sweep answers "how many
+// levels does EA-DVFS actually need?".
+func LevelCountSweep(s Spec, counts []float64, policyNames []string) (*SensitivityResult, error) {
+	return runSweep(s, "dvfs-levels", counts, policyNames,
+		func(s Spec, rep Replication, point float64, pf PolicyFactory) (*sim.Result, error) {
+			n := int(point)
+			if n < 1 {
+				return nil, fmt.Errorf("experiment: level count %v < 1", point)
+			}
+			proc := cpu.Cubic("cubic", n, 1000, s.PMax, s.PMax*0.02)
+			return runWith(s, rep, defaultSweepCapacity, pf, proc, s.Predictor)
+		})
+}
+
+// PMaxSweep measures the miss rate as the processor power scale varies —
+// the calibration study behind DESIGN.md §5.3, runnable.
+func PMaxSweep(s Spec, pmaxes []float64, policyNames []string) (*SensitivityResult, error) {
+	return runSweep(s, "pmax", pmaxes, policyNames,
+		func(s Spec, rep Replication, point float64, pf PolicyFactory) (*sim.Result, error) {
+			if point <= 0 {
+				return nil, fmt.Errorf("experiment: pmax %v <= 0", point)
+			}
+			sp := s
+			sp.PMax = point
+			// Re-derive the workload: WCETs depend on PMax (§5.1).
+			rep2, err := Replicate(sp, repIndexOf(rep))
+			if err != nil {
+				return nil, err
+			}
+			return runWith(sp, rep2, defaultSweepCapacity, pf, sp.Processor(), sp.Predictor)
+		})
+}
+
+// TaskCountSweep measures the miss rate as the number of periodic tasks
+// sharing the utilization varies (the paper: "the number of periodic
+// tasks in a task set is arbitrary").
+func TaskCountSweep(s Spec, counts []float64, policyNames []string) (*SensitivityResult, error) {
+	return runSweep(s, "tasks", counts, policyNames,
+		func(s Spec, rep Replication, point float64, pf PolicyFactory) (*sim.Result, error) {
+			n := int(point)
+			if n < 1 {
+				return nil, fmt.Errorf("experiment: task count %v < 1", point)
+			}
+			sp := s
+			sp.NumTasks = n
+			rep2, err := Replicate(sp, repIndexOf(rep))
+			if err != nil {
+				return nil, err
+			}
+			return runWith(sp, rep2, defaultSweepCapacity, pf, sp.Processor(), sp.Predictor)
+		})
+}
+
+// PredictorSweep measures the miss rate of each named predictor (sweep
+// "points" are indices into the names slice).
+func PredictorSweep(s Spec, predictors []string, policyNames []string) (*SensitivityResult, error) {
+	points := make([]float64, len(predictors))
+	for i := range predictors {
+		points[i] = float64(i)
+	}
+	res, err := runSweep(s, "predictor", points, policyNames,
+		func(s Spec, rep Replication, point float64, pf PolicyFactory) (*sim.Result, error) {
+			name := predictors[int(point)]
+			if _, err := Predictor(name); err != nil {
+				return nil, err
+			}
+			return runWith(s, rep, defaultSweepCapacity, pf, s.Processor(), name)
+		})
+	if err != nil {
+		return nil, err
+	}
+	res.Param = "predictor"
+	res.Labels = append([]string(nil), predictors...)
+	return res, nil
+}
+
+// runWith is RunOne with an explicit processor and predictor name.
+func runWith(s Spec, rep Replication, capacity float64, pf PolicyFactory, proc *cpu.Processor, predictor string) (*sim.Result, error) {
+	predF, err := Predictor(predictor)
+	if err != nil {
+		return nil, err
+	}
+	src := energy.NewSolarModel(rep.SourceSeed)
+	return sim.Run(&sim.Config{
+		Horizon:   s.Horizon,
+		Tasks:     rep.Tasks,
+		Source:    src,
+		Predictor: predF(src),
+		Store:     storage.NewIdeal(capacity),
+		CPU:       proc,
+		Policy:    pf(),
+	})
+}
+
+// repIndexOf recovers a replication's index so sweeps that re-derive the
+// workload stay paired. Replications memoize their index.
+func repIndexOf(rep Replication) int { return rep.Index }

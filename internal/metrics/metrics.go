@@ -1,0 +1,209 @@
+// Package metrics provides the statistics machinery behind the paper's
+// evaluation: sampled time series (the remaining-energy curves of Figures
+// 6–7), online mean/variance accumulators for replicated experiments, and
+// deadline-miss accounting (Figures 8–9).
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// Welford is a numerically stable online mean/variance accumulator.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add incorporates one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of observations.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean (0 for no observations).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the unbiased sample variance (0 for n < 2).
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// StdErr returns the standard error of the mean.
+func (w *Welford) StdErr() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.StdDev() / math.Sqrt(float64(w.n))
+}
+
+// Series is a uniformly sampled time series: value[i] applies at time
+// Start + i*Step. Figures 6–7 are Series sampled once per time unit.
+type Series struct {
+	Start  float64
+	Step   float64
+	Values []float64
+}
+
+// NewSeries allocates a series of n samples.
+func NewSeries(start, step float64, n int) *Series {
+	if step <= 0 || n < 0 {
+		panic(fmt.Sprintf("metrics: invalid series spec step=%v n=%d", step, n))
+	}
+	return &Series{Start: start, Step: step, Values: make([]float64, n)}
+}
+
+// Len returns the sample count.
+func (s *Series) Len() int { return len(s.Values) }
+
+// TimeAt returns the timestamp of sample i.
+func (s *Series) TimeAt(i int) float64 { return s.Start + float64(i)*s.Step }
+
+// Mean returns the average of all samples (0 when empty).
+func (s *Series) Mean() float64 {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.Values {
+		sum += v
+	}
+	return sum / float64(len(s.Values))
+}
+
+// MeanSeries averages several equally shaped series pointwise — the
+// paper's "weighted average of normalized remaining energy for each
+// capacity … each normalized remaining energy having the same weight"
+// (§5.2). Shapes must match.
+func MeanSeries(series []*Series) *Series {
+	if len(series) == 0 {
+		panic("metrics: MeanSeries of nothing")
+	}
+	first := series[0]
+	out := NewSeries(first.Start, first.Step, first.Len())
+	for _, s := range series {
+		if s.Len() != first.Len() || s.Start != first.Start || s.Step != first.Step {
+			panic("metrics: MeanSeries shape mismatch")
+		}
+		for i, v := range s.Values {
+			out.Values[i] += v
+		}
+	}
+	for i := range out.Values {
+		out.Values[i] /= float64(len(series))
+	}
+	return out
+}
+
+// Downsample returns every k-th sample (k >= 1), for compact reporting.
+func (s *Series) Downsample(k int) *Series {
+	if k < 1 {
+		panic("metrics: downsample factor < 1")
+	}
+	out := &Series{Start: s.Start, Step: s.Step * float64(k)}
+	for i := 0; i < len(s.Values); i += k {
+		out.Values = append(out.Values, s.Values[i])
+	}
+	return out
+}
+
+// MissStats tallies deadline outcomes.
+type MissStats struct {
+	Released int
+	Finished int
+	Missed   int
+}
+
+// Rate returns Missed/Released, the paper's deadline miss rate; 0 when
+// nothing was released.
+func (m MissStats) Rate() float64 {
+	if m.Released == 0 {
+		return 0
+	}
+	return float64(m.Missed) / float64(m.Released)
+}
+
+// Add accumulates another tally.
+func (m *MissStats) Add(o MissStats) {
+	m.Released += o.Released
+	m.Finished += o.Finished
+	m.Missed += o.Missed
+}
+
+// Check verifies internal consistency: outcomes partition releases for a
+// completed run (every released job either finished or missed).
+func (m MissStats) Check() error {
+	if m.Released < 0 || m.Finished < 0 || m.Missed < 0 {
+		return fmt.Errorf("metrics: negative tally %+v", m)
+	}
+	if m.Finished+m.Missed > m.Released {
+		return fmt.Errorf("metrics: outcomes exceed releases %+v", m)
+	}
+	return nil
+}
+
+// Histogram is a fixed-width bucket histogram over [Lo, Hi); out-of-range
+// observations clamp into the edge buckets.
+type Histogram struct {
+	Lo, Hi  float64
+	Buckets []int
+	count   int
+}
+
+// NewHistogram allocates n buckets over [lo, hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if hi <= lo || n <= 0 {
+		panic(fmt.Sprintf("metrics: invalid histogram [%v,%v)x%d", lo, hi, n))
+	}
+	return &Histogram{Lo: lo, Hi: hi, Buckets: make([]int, n)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	n := len(h.Buckets)
+	i := int(float64(n) * (x - h.Lo) / (h.Hi - h.Lo))
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	h.Buckets[i]++
+	h.count++
+}
+
+// Count returns total observations.
+func (h *Histogram) Count() int { return h.count }
+
+// Quantile returns the q-quantile (0 <= q <= 1) as the midpoint of the
+// bucket containing it; 0 when empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("metrics: quantile %v outside [0,1]", q))
+	}
+	if h.count == 0 {
+		return 0
+	}
+	target := q * float64(h.count)
+	cum := 0.0
+	width := (h.Hi - h.Lo) / float64(len(h.Buckets))
+	for i, c := range h.Buckets {
+		cum += float64(c)
+		if cum >= target {
+			return h.Lo + (float64(i)+0.5)*width
+		}
+	}
+	return h.Hi - width/2
+}

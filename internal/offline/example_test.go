@@ -1,0 +1,29 @@
+package offline_test
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/eadvfs/eadvfs/internal/cpu"
+	"github.com/eadvfs/eadvfs/internal/offline"
+)
+
+// Plan one 100-unit frame of three tasks on the XScale processor with a
+// constant 1.2-power recharge: the planner stretches everything onto the
+// two slowest operating points, exactly filling the frame.
+func ExampleSolve() {
+	plan, err := offline.Solve(cpu.XScaleScaled(10), offline.FrameSpec{
+		Frame:         100,
+		WCETs:         []float64{6, 10, 14},
+		RechargePower: 1.2,
+		InitialEnergy: 60,
+		Capacity:      math.Inf(1),
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("levels %d->%d busy %.0f energy %.0f\n",
+		plan.SlowLevel, plan.FastLevel, plan.BusyTime(), plan.Energy)
+	// Output: levels 0->1 busy 100 energy 85
+}

@@ -1,0 +1,178 @@
+// Package plot renders experiment results for terminals and CSV files:
+// ASCII line charts for the paper's figures and aligned tables for
+// Table 1. No graphics dependencies — the output is meant to be diffed,
+// logged and pasted into EXPERIMENTS.md.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Line is one named series of (x, y) points.
+type Line struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// markers distinguish up to eight overlaid series.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Chart renders lines into a width×height ASCII grid with axis labels.
+// All series share the axes; ranges are computed from the data (the y
+// range includes 0). It panics on malformed series.
+func Chart(title string, width, height int, lines ...Line) string {
+	if width < 16 || height < 4 {
+		panic(fmt.Sprintf("plot: chart too small %dx%d", width, height))
+	}
+	if len(lines) == 0 {
+		panic("plot: no series")
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := 0.0, math.Inf(-1)
+	for _, l := range lines {
+		if len(l.X) != len(l.Y) || len(l.X) == 0 {
+			panic(fmt.Sprintf("plot: series %q has %d xs and %d ys", l.Name, len(l.X), len(l.Y)))
+		}
+		for i := range l.X {
+			minX = math.Min(minX, l.X[i])
+			maxX = math.Max(maxX, l.X[i])
+			minY = math.Min(minY, l.Y[i])
+			maxY = math.Max(maxY, l.Y[i])
+		}
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for li, l := range lines {
+		m := markers[li%len(markers)]
+		for i := range l.X {
+			c := int(float64(width-1) * (l.X[i] - minX) / (maxX - minX))
+			r := height - 1 - int(float64(height-1)*(l.Y[i]-minY)/(maxY-minY))
+			if c >= 0 && c < width && r >= 0 && r < height {
+				grid[r][c] = m
+			}
+		}
+	}
+
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	for r, row := range grid {
+		var label string
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%8.3g", maxY)
+		case height - 1:
+			label = fmt.Sprintf("%8.3g", minY)
+		default:
+			label = strings.Repeat(" ", 8)
+		}
+		fmt.Fprintf(&b, "%s |%s|\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "%s +%s+\n", strings.Repeat(" ", 8), strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%s  %-*.4g%*.4g\n", strings.Repeat(" ", 8), width/2, minX, width-width/2, maxX)
+	for li, l := range lines {
+		fmt.Fprintf(&b, "%s   %c %s\n", strings.Repeat(" ", 8), markers[li%len(markers)], l.Name)
+	}
+	return b.String()
+}
+
+// Table renders a right-aligned text table. Rows must all have len(header)
+// cells.
+func Table(header []string, rows [][]string) string {
+	if len(header) == 0 {
+		panic("plot: empty table header")
+	}
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		if len(row) != len(header) {
+			panic(fmt.Sprintf("plot: row has %d cells, header %d", len(row), len(header)))
+		}
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders series as comma-separated columns with the given x column
+// name: x,name1,name2,... All series must share X.
+func CSV(xName string, lines ...Line) string {
+	if len(lines) == 0 {
+		panic("plot: no series")
+	}
+	n := len(lines[0].X)
+	var b strings.Builder
+	b.WriteString(xName)
+	for _, l := range lines {
+		if len(l.X) != n || len(l.Y) != n {
+			panic("plot: CSV series shape mismatch")
+		}
+		b.WriteByte(',')
+		b.WriteString(l.Name)
+	}
+	b.WriteByte('\n')
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "%g", lines[0].X[i])
+		for _, l := range lines {
+			fmt.Fprintf(&b, ",%g", l.Y[i])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Downsampled returns a Line with at most n evenly spaced points of the
+// input — charts get unreadable (and slow) beyond terminal resolution.
+func Downsampled(l Line, n int) Line {
+	if n <= 0 {
+		panic("plot: non-positive downsample size")
+	}
+	if len(l.X) <= n {
+		return l
+	}
+	out := Line{Name: l.Name}
+	step := float64(len(l.X)-1) / float64(n-1)
+	for i := 0; i < n; i++ {
+		idx := int(math.Round(float64(i) * step))
+		out.X = append(out.X, l.X[idx])
+		out.Y = append(out.Y, l.Y[idx])
+	}
+	return out
+}

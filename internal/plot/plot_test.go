@@ -1,0 +1,133 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChartBasics(t *testing.T) {
+	l := Line{Name: "lin", X: []float64{0, 1, 2, 3}, Y: []float64{0, 1, 2, 3}}
+	out := Chart("title", 40, 10, l)
+	if !strings.Contains(out, "title") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "lin") {
+		t.Fatal("legend missing")
+	}
+	if strings.Count(out, "\n") < 12 {
+		t.Fatalf("chart too short:\n%s", out)
+	}
+	// The increasing series must put a marker in the top row region and
+	// bottom row region.
+	rows := strings.Split(out, "\n")
+	if !strings.Contains(rows[1], "*") && !strings.Contains(rows[2], "*") {
+		t.Fatalf("no marker near top:\n%s", out)
+	}
+}
+
+func TestChartMultipleSeriesMarkers(t *testing.T) {
+	a := Line{Name: "a", X: []float64{0, 1}, Y: []float64{0, 1}}
+	b := Line{Name: "b", X: []float64{0, 1}, Y: []float64{1, 0}}
+	out := Chart("", 30, 8, a, b)
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("distinct markers missing:\n%s", out)
+	}
+}
+
+func TestChartConstantSeries(t *testing.T) {
+	l := Line{Name: "c", X: []float64{0, 1, 2}, Y: []float64{5, 5, 5}}
+	out := Chart("", 30, 6, l) // must not divide by zero
+	if out == "" {
+		t.Fatal("empty chart")
+	}
+}
+
+func TestChartValidation(t *testing.T) {
+	good := Line{Name: "g", X: []float64{0}, Y: []float64{0}}
+	for i, f := range []func(){
+		func() { Chart("", 5, 5, good) },
+		func() { Chart("", 30, 2, good) },
+		func() { Chart("", 30, 8) },
+		func() { Chart("", 30, 8, Line{Name: "bad", X: []float64{1}, Y: nil}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	out := Table([]string{"U", "ratio"}, [][]string{{"0.2", "2.5"}, {"0.4", "1.33"}})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines:\n%s", len(lines), out)
+	}
+	if len(lines[0]) != len(lines[1]) || len(lines[1]) != len(lines[2]) {
+		t.Fatalf("misaligned table:\n%s", out)
+	}
+	if !strings.Contains(lines[1], "-") {
+		t.Fatal("separator missing")
+	}
+}
+
+func TestTableValidation(t *testing.T) {
+	for i, f := range []func(){
+		func() { Table(nil, nil) },
+		func() { Table([]string{"a"}, [][]string{{"1", "2"}}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestCSV(t *testing.T) {
+	a := Line{Name: "a", X: []float64{0, 1}, Y: []float64{2, 3}}
+	b := Line{Name: "b", X: []float64{0, 1}, Y: []float64{4, 5}}
+	out := CSV("t", a, b)
+	want := "t,a,b\n0,2,4\n1,3,5\n"
+	if out != want {
+		t.Fatalf("CSV = %q, want %q", out, want)
+	}
+}
+
+func TestCSVShapeMismatchPanics(t *testing.T) {
+	a := Line{Name: "a", X: []float64{0, 1}, Y: []float64{2, 3}}
+	b := Line{Name: "b", X: []float64{0}, Y: []float64{4}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shape mismatch did not panic")
+		}
+	}()
+	CSV("t", a, b)
+}
+
+func TestDownsampled(t *testing.T) {
+	l := Line{Name: "d"}
+	for i := 0; i < 100; i++ {
+		l.X = append(l.X, float64(i))
+		l.Y = append(l.Y, float64(i*i))
+	}
+	d := Downsampled(l, 10)
+	if len(d.X) != 10 {
+		t.Fatalf("downsampled to %d points", len(d.X))
+	}
+	if d.X[0] != 0 || d.X[9] != 99 {
+		t.Fatalf("endpoints not preserved: %v, %v", d.X[0], d.X[9])
+	}
+	// Short series pass through.
+	s := Line{Name: "s", X: []float64{1, 2}, Y: []float64{3, 4}}
+	if got := Downsampled(s, 10); len(got.X) != 2 {
+		t.Fatal("short series resampled")
+	}
+}

@@ -1,0 +1,183 @@
+// Package sched defines the scheduling-policy interface the simulation
+// engine drives, and the baseline policies the paper compares against:
+// plain EDF (energy-oblivious full speed), the lazy scheduling algorithm
+// (LSA) of Moser et al. [7,10], and the greedy-stretch straw man the paper
+// dismantles in §4.3. The paper's own EA-DVFS policy lives in
+// internal/core.
+package sched
+
+import (
+	"math"
+
+	"github.com/eadvfs/eadvfs/internal/cpu"
+	"github.com/eadvfs/eadvfs/internal/energy"
+	"github.com/eadvfs/eadvfs/internal/task"
+)
+
+// Context is the system state a policy observes at a decision point. The
+// engine rebuilds it at every event, so policies can (and should) be
+// stateless: the paper's algorithms are pure functions of this state.
+type Context struct {
+	Now       float64
+	Queue     *task.ReadyQueue
+	Stored    float64 // EC(now)
+	Capacity  float64 // C, possibly +Inf
+	CPU       *cpu.Processor
+	Predictor energy.Predictor
+}
+
+// AvailableEnergy returns the paper's EC(am) + ÊS(am, am+dm) estimate for a
+// window ending at `until`: stored energy plus the predicted harvest.
+func (c *Context) AvailableEnergy(until float64) float64 {
+	if until < c.Now {
+		until = c.Now
+	}
+	return c.Stored + c.Predictor.PredictEnergy(c.Now, until)
+}
+
+// Decision is what a policy asks the engine to do until the next event.
+type Decision struct {
+	// Job to execute; nil means idle (harvest only).
+	Job *task.Job
+	// Level is the processor operating point when Job != nil.
+	Level int
+	// Until is the latest time at which the engine must come back for a
+	// fresh decision (e.g. the s1 or s2 instants). The engine re-decides
+	// earlier whenever any event fires. +Inf means "until the next
+	// event".
+	Until float64
+}
+
+// Idle returns an idle decision with the given re-evaluation deadline.
+func Idle(until float64) Decision {
+	return Decision{Job: nil, Until: until}
+}
+
+// Run returns an execute decision.
+func Run(j *task.Job, level int, until float64) Decision {
+	return Decision{Job: j, Level: level, Until: until}
+}
+
+// Policy decides what the processor does. Decide is called at every
+// scheduling event (arrival, completion, deadline, unit boundary, storage
+// crossing, Until expiry).
+type Policy interface {
+	Name() string
+	Decide(ctx *Context) Decision
+}
+
+// timeEps breaks s1/s2 boundary ties: an instant within timeEps of a
+// computed start time counts as having reached it, preventing zero-length
+// re-decision loops at event boundaries.
+const timeEps = 1e-9
+
+// EDF is the energy-oblivious baseline: run the earliest-deadline ready
+// job flat-out whenever one exists. With infinite storage EA-DVFS reduces
+// to exactly this policy (§4.3), which the integration tests assert.
+type EDF struct{}
+
+// Name implements Policy.
+func (EDF) Name() string { return "edf" }
+
+// Decide implements Policy.
+func (EDF) Decide(ctx *Context) Decision {
+	j := ctx.Queue.Peek()
+	if j == nil {
+		return Idle(math.Inf(1))
+	}
+	return Run(j, ctx.CPU.MaxLevel(), math.Inf(1))
+}
+
+// LSA is the lazy scheduling algorithm of Moser et al. as the paper
+// describes it (§1): full power only; start the earliest-deadline task at
+// the last instant from which the system "is able to keep on running at
+// the maximum power until the deadline of the task", i.e. at
+//
+//	s2 = max(now, D − (EC + ÊS(now, D)) / Pmax).
+//
+// Before s2 the processor idles and the storage recharges. s2 is
+// re-evaluated at every event, so the start time tracks the true energy
+// state exactly as the original online algorithm does.
+type LSA struct{}
+
+// Name implements Policy.
+func (LSA) Name() string { return "lsa" }
+
+// Decide implements Policy.
+func (LSA) Decide(ctx *Context) Decision {
+	j := ctx.Queue.Peek()
+	if j == nil {
+		return Idle(math.Inf(1))
+	}
+	available := ctx.AvailableEnergy(j.Abs)
+	srMax := available / ctx.CPU.MaxPower()
+	s2 := math.Max(ctx.Now, j.Abs-srMax)
+	if ctx.Now < s2-timeEps {
+		return Idle(s2)
+	}
+	return Run(j, ctx.CPU.MaxLevel(), math.Inf(1))
+}
+
+// StaticDVFS is the classic energy-oblivious DVFS baseline (Pillai & Shin
+// style static voltage scaling): every job runs at the lowest operating
+// point whose normalized speed is at least the task set's utilization U —
+// timing-safe under EDF for implicit deadlines, and cheaper than full
+// speed, but blind to the energy state. It isolates how much of EA-DVFS's
+// win comes from plain DVFS versus from *energy awareness*.
+type StaticDVFS struct {
+	// Utilization is the task-set utilization the level is derived from.
+	Utilization float64
+}
+
+// Name implements Policy.
+func (StaticDVFS) Name() string { return "static-dvfs" }
+
+// Decide implements Policy.
+func (p StaticDVFS) Decide(ctx *Context) Decision {
+	j := ctx.Queue.Peek()
+	if j == nil {
+		return Idle(math.Inf(1))
+	}
+	level := ctx.CPU.MaxLevel()
+	for n := 0; n < ctx.CPU.Levels(); n++ {
+		if ctx.CPU.Speed(n) >= p.Utilization {
+			level = n
+			break
+		}
+	}
+	// Per-job feasibility still binds: never pick a level that cannot
+	// meet this job's deadline.
+	if minL, ok := ctx.CPU.MinLevelFor(j.Remaining(), j.Abs-ctx.Now); ok && minL > level {
+		level = minL
+	}
+	return Run(j, level, math.Inf(1))
+}
+
+// GreedyStretch is EA-DVFS without the §4.3 guard: it picks the minimum
+// feasible frequency and runs the job there to completion, never switching
+// back to full speed at s2. The paper's Figure 3 shows this steals so much
+// time from future tasks that deadlines are missed even with ample energy;
+// the ablation bench quantifies that.
+type GreedyStretch struct{}
+
+// Name implements Policy.
+func (GreedyStretch) Name() string { return "greedy-stretch" }
+
+// Decide implements Policy.
+func (GreedyStretch) Decide(ctx *Context) Decision {
+	j := ctx.Queue.Peek()
+	if j == nil {
+		return Idle(math.Inf(1))
+	}
+	level, feasible := ctx.CPU.MinLevelFor(j.Remaining(), j.Abs-ctx.Now)
+	if !feasible {
+		return Run(j, ctx.CPU.MaxLevel(), math.Inf(1))
+	}
+	available := ctx.AvailableEnergy(j.Abs)
+	srN := available / ctx.CPU.Power(level)
+	s1 := math.Max(ctx.Now, j.Abs-srN)
+	if ctx.Now < s1-timeEps {
+		return Idle(s1)
+	}
+	return Run(j, level, math.Inf(1))
+}

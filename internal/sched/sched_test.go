@@ -1,0 +1,207 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"github.com/eadvfs/eadvfs/internal/cpu"
+	"github.com/eadvfs/eadvfs/internal/energy"
+	"github.com/eadvfs/eadvfs/internal/task"
+)
+
+// ctxWith builds a decision context with a constant-power oracle predictor.
+func ctxWith(now, stored, harvestPower float64, proc *cpu.Processor, jobs ...*task.Job) *Context {
+	q := task.NewReadyQueue()
+	for _, j := range jobs {
+		q.Push(j)
+	}
+	src := energy.NewConstant(harvestPower)
+	return &Context{
+		Now:       now,
+		Queue:     q,
+		Stored:    stored,
+		Capacity:  math.Inf(1),
+		CPU:       proc,
+		Predictor: energy.NewOracle(src),
+	}
+}
+
+func TestAvailableEnergy(t *testing.T) {
+	ctx := ctxWith(10, 24, 0.5, cpu.TwoSpeed(8))
+	if got := ctx.AvailableEnergy(26); math.Abs(got-(24+8)) > 1e-12 {
+		t.Fatalf("available = %v, want 32", got)
+	}
+	// Window ending in the past clamps to stored only.
+	if got := ctx.AvailableEnergy(5); got != 24 {
+		t.Fatalf("past-window available = %v, want 24", got)
+	}
+}
+
+func TestEDFRunsHeadAtMax(t *testing.T) {
+	j1 := task.NewJob(0, 0, 0, 30, 2)
+	j2 := task.NewJob(1, 0, 0, 10, 2)
+	ctx := ctxWith(0, 0, 0, cpu.XScale(), j1, j2) // no energy: EDF does not care
+	d := EDF{}.Decide(ctx)
+	if d.Job != j2 {
+		t.Fatal("EDF did not pick the earliest deadline")
+	}
+	if d.Level != ctx.CPU.MaxLevel() {
+		t.Fatalf("EDF level = %d, want max", d.Level)
+	}
+}
+
+func TestEDFIdleOnEmptyQueue(t *testing.T) {
+	ctx := ctxWith(0, 100, 1, cpu.XScale())
+	d := EDF{}.Decide(ctx)
+	if d.Job != nil || !math.IsInf(d.Until, 1) {
+		t.Fatalf("EDF on empty queue = %+v", d)
+	}
+}
+
+// The motivational example (§2): EC(0)=24, Pmax=8, Ps=0.5, τ1=(0,16,4).
+// LSA must start τ1 at s2 = 12.
+func TestLSAMotivationalExampleStartsAt12(t *testing.T) {
+	j := task.NewJob(1, 0, 0, 16, 4)
+	proc := cpu.TwoSpeed(8)
+
+	ctx := ctxWith(0, 24, 0.5, proc, j)
+	d := LSA{}.Decide(ctx)
+	if d.Job != nil {
+		t.Fatal("LSA started before s2")
+	}
+	if math.Abs(d.Until-12) > 1e-9 {
+		t.Fatalf("LSA idle-until = %v, want s2 = 12", d.Until)
+	}
+
+	// At t=12 with the stored energy unchanged (idle, harvesting 0.5/unit:
+	// stored becomes 24+6=30; available = 30 + 0.5*4 = 32; s2 = 16-4 = 12).
+	ctx = ctxWith(12, 30, 0.5, proc, j)
+	d = LSA{}.Decide(ctx)
+	if d.Job != j {
+		t.Fatal("LSA did not start at s2")
+	}
+	if d.Level != proc.MaxLevel() {
+		t.Fatal("LSA must always run at full speed")
+	}
+}
+
+func TestLSARunsImmediatelyWithAmpleEnergy(t *testing.T) {
+	j := task.NewJob(0, 0, 0, 16, 4)
+	ctx := ctxWith(0, 1e6, 0, cpu.TwoSpeed(8), j)
+	d := LSA{}.Decide(ctx)
+	if d.Job != j {
+		t.Fatal("LSA idled despite ample energy")
+	}
+}
+
+func TestLSAIdleOnEmptyQueue(t *testing.T) {
+	ctx := ctxWith(0, 10, 1, cpu.XScale())
+	if d := (LSA{}).Decide(ctx); d.Job != nil {
+		t.Fatal("LSA ran with no ready job")
+	}
+}
+
+func TestLSANoEnergyIdlesUntilDeadlinePasses(t *testing.T) {
+	// Zero stored, zero harvest: s2 = deadline, i.e. never start usefully.
+	j := task.NewJob(0, 0, 0, 10, 4)
+	ctx := ctxWith(0, 0, 0, cpu.TwoSpeed(8), j)
+	d := LSA{}.Decide(ctx)
+	if d.Job != nil {
+		t.Fatal("LSA ran with zero available energy")
+	}
+	if math.Abs(d.Until-10) > 1e-9 {
+		t.Fatalf("LSA idle-until = %v, want deadline 10", d.Until)
+	}
+}
+
+func TestGreedyStretchPicksMinFeasibleLevel(t *testing.T) {
+	// Figure 3 shape: ample energy, wide window → lowest level, run to
+	// completion (Until = +Inf), never the s2 switch.
+	j := task.NewJob(0, 0, 0, 16, 4)
+	ctx := ctxWith(0, 32, 0, cpu.Fig3(), j)
+	d := GreedyStretch{}.Decide(ctx)
+	if d.Job != j || d.Level != 0 {
+		t.Fatalf("greedy decision = %+v, want level 0", d)
+	}
+	if !math.IsInf(d.Until, 1) {
+		t.Fatalf("greedy Until = %v, want +Inf (no s2 clamp)", d.Until)
+	}
+}
+
+func TestGreedyStretchInfeasibleFallsBackToMax(t *testing.T) {
+	j := task.NewJob(0, 0, 0, 3, 4) // cannot finish even flat-out
+	ctx := ctxWith(0, 100, 0, cpu.XScale(), j)
+	d := GreedyStretch{}.Decide(ctx)
+	if d.Job != j || d.Level != ctx.CPU.MaxLevel() {
+		t.Fatalf("infeasible greedy decision = %+v", d)
+	}
+}
+
+func TestGreedyStretchWaitsForS1(t *testing.T) {
+	// Low energy: even the slow level cannot run until the deadline yet.
+	j := task.NewJob(0, 0, 0, 16, 4)
+	// Fig3 proc: level 0 power 1. Available = 8 → srn = 8 → s1 = 8.
+	ctx := ctxWith(0, 8, 0, cpu.Fig3(), j)
+	d := GreedyStretch{}.Decide(ctx)
+	if d.Job != nil {
+		t.Fatal("greedy ran before s1")
+	}
+	if math.Abs(d.Until-8) > 1e-9 {
+		t.Fatalf("greedy idle-until = %v, want s1 = 8", d.Until)
+	}
+}
+
+func TestDecisionHelpers(t *testing.T) {
+	j := task.NewJob(0, 0, 0, 10, 1)
+	r := Run(j, 3, 7)
+	if r.Job != j || r.Level != 3 || r.Until != 7 {
+		t.Fatalf("Run helper = %+v", r)
+	}
+	i := Idle(5)
+	if i.Job != nil || i.Until != 5 {
+		t.Fatalf("Idle helper = %+v", i)
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	if (EDF{}).Name() != "edf" || (LSA{}).Name() != "lsa" || (GreedyStretch{}).Name() != "greedy-stretch" {
+		t.Fatal("policy names changed — reports and EXPERIMENTS.md reference them")
+	}
+}
+
+func TestStaticDVFSPicksUtilizationLevel(t *testing.T) {
+	j := task.NewJob(0, 0, 0, 100, 1)
+	ctx := ctxWith(0, 0, 0, cpu.XScale(), j) // energy-oblivious: stored 0 is fine
+	d := StaticDVFS{Utilization: 0.5}.Decide(ctx)
+	if d.Job != j {
+		t.Fatal("static DVFS did not run the head job")
+	}
+	// Lowest XScale speed >= 0.5 is 0.6 (level 2).
+	if d.Level != 2 {
+		t.Fatalf("level = %d, want 2", d.Level)
+	}
+}
+
+func TestStaticDVFSRespectsJobFeasibility(t *testing.T) {
+	// U = 0.2 would pick level 1 (speed 0.4), but this job needs speed
+	// >= 0.8 to meet its deadline.
+	j := task.NewJob(0, 0, 0, 5, 4)
+	ctx := ctxWith(0, 0, 0, cpu.XScale(), j)
+	d := StaticDVFS{Utilization: 0.2}.Decide(ctx)
+	if d.Level != 3 {
+		t.Fatalf("level = %d, want 3 (speed 0.8)", d.Level)
+	}
+}
+
+func TestStaticDVFSIdleOnEmptyQueue(t *testing.T) {
+	ctx := ctxWith(0, 10, 1, cpu.XScale())
+	if d := (StaticDVFS{Utilization: 0.4}).Decide(ctx); d.Job != nil {
+		t.Fatal("static DVFS ran with no job")
+	}
+}
+
+func TestStaticDVFSName(t *testing.T) {
+	if (StaticDVFS{}).Name() != "static-dvfs" {
+		t.Fatal("name changed")
+	}
+}

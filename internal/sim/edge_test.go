@@ -1,0 +1,205 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"github.com/eadvfs/eadvfs/internal/core"
+	"github.com/eadvfs/eadvfs/internal/cpu"
+	"github.com/eadvfs/eadvfs/internal/energy"
+	"github.com/eadvfs/eadvfs/internal/sched"
+	"github.com/eadvfs/eadvfs/internal/storage"
+	"github.com/eadvfs/eadvfs/internal/task"
+)
+
+func edgeCfg(tasks []task.Task, policy sched.Policy, horizon float64) *Config {
+	src := energy.NewConstant(5)
+	return &Config{
+		Horizon:   horizon,
+		Tasks:     tasks,
+		Source:    src,
+		Predictor: energy.NewOracle(src),
+		Store:     storage.New(1e4, 1e4),
+		CPU:       cpu.XScale(),
+		Policy:    policy,
+	}
+}
+
+func TestZeroWCETJobsCompleteInstantly(t *testing.T) {
+	res, err := Run(edgeCfg([]task.Task{{ID: 0, Period: 10, Deadline: 10, WCET: 0}}, sched.EDF{}, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Miss.Released != 5 || res.Miss.Finished != 5 || res.Miss.Missed != 0 {
+		t.Fatalf("zero-wcet outcome: %+v", res.Miss)
+	}
+	if res.BusyTime != 0 {
+		t.Fatalf("busy %v for zero work", res.BusyTime)
+	}
+}
+
+func TestNonIntegerHorizon(t *testing.T) {
+	res, err := Run(edgeCfg([]task.Task{{ID: 0, Period: 10, Deadline: 10, WCET: 1}}, sched.EDF{}, 33.7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := res.BusyTime + res.IdleTime + res.StallTime
+	if math.Abs(total-33.7) > 1e-6 {
+		t.Fatalf("time accounting %v != 33.7", total)
+	}
+	if res.Miss.Released != 4 { // arrivals at 0, 10, 20, 30
+		t.Fatalf("released %d", res.Miss.Released)
+	}
+}
+
+func TestOffsetBeyondHorizonReleasesNothing(t *testing.T) {
+	res, err := Run(edgeCfg([]task.Task{{ID: 0, Period: 10, Deadline: 10, WCET: 1, Offset: 99}}, sched.EDF{}, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Miss.Released != 0 || res.BusyTime != 0 {
+		t.Fatalf("phantom releases: %+v busy %v", res.Miss, res.BusyTime)
+	}
+}
+
+func TestSimultaneousArrivalStorm(t *testing.T) {
+	// 40 tasks all releasing at the same instants; total utilization 0.8.
+	var tasks []task.Task
+	for i := 0; i < 40; i++ {
+		tasks = append(tasks, task.Task{ID: i, Period: 50, Deadline: 50, WCET: 1})
+	}
+	res, err := Run(edgeCfg(tasks, core.NewEADVFS(), 500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Miss.Released != 400 {
+		t.Fatalf("released %d, want 400", res.Miss.Released)
+	}
+	if res.Miss.Missed != 0 {
+		t.Fatalf("EDF-feasible storm missed %d with ample energy", res.Miss.Missed)
+	}
+	if err := res.Miss.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeadlineShorterThanPeriod(t *testing.T) {
+	// Constrained deadlines: d = p/2; still feasible at full speed.
+	tasks := []task.Task{{ID: 0, Period: 20, Deadline: 10, WCET: 4}}
+	res, err := Run(edgeCfg(tasks, core.NewEADVFS(), 200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Miss.Missed != 0 {
+		t.Fatalf("constrained-deadline misses: %+v", res.Miss)
+	}
+}
+
+func TestEventCountBounded(t *testing.T) {
+	// Event storms are the classic DES failure mode; pin a generous
+	// bound so regressions (zero-length event loops) fail loudly.
+	src := energy.NewSolarModel(1)
+	cfg := &Config{
+		Horizon:   5000,
+		Tasks:     paperWorkload(1, 0.8, 10),
+		Source:    src,
+		Predictor: energy.NewEWMA(0.2),
+		Store:     storage.NewIdeal(200),
+		CPU:       cpu.XScaleScaled(10),
+		Policy:    core.NewEADVFS(),
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perUnit := float64(res.Events) / cfg.Horizon
+	if perUnit > 40 {
+		t.Fatalf("%.1f events per time unit — event storm", perUnit)
+	}
+}
+
+func TestManyTasksHighUtilization(t *testing.T) {
+	// Stress: 20 paper tasks at U=0.95 with scarce energy; only the
+	// invariants are asserted, not outcomes.
+	src := energy.NewSolarModel(99)
+	cfg := &Config{
+		Horizon:   3000,
+		Tasks:     paperWorkload(99, 0.95, 20),
+		Source:    src,
+		Predictor: energy.NewEWMA(0.2),
+		Store:     storage.NewIdeal(100),
+		CPU:       cpu.XScaleScaled(10),
+		Policy:    core.NewEADVFS(),
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Miss.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.ConservationErr) > 1e-5*(1+res.Meters.Harvested) {
+		t.Fatalf("conservation error %v", res.ConservationErr)
+	}
+	total := res.BusyTime + res.IdleTime + res.StallTime
+	if math.Abs(total-cfg.Horizon) > 1e-6 {
+		t.Fatalf("time accounting %v", total)
+	}
+}
+
+func TestEnergySeriesMatchesFinalLevel(t *testing.T) {
+	src := energy.NewSolarModel(17)
+	cfg := &Config{
+		Horizon:      1000,
+		Tasks:        paperWorkload(17, 0.5, 5),
+		Source:       src,
+		Predictor:    energy.NewEWMA(0.2),
+		Store:        storage.NewIdeal(400),
+		CPU:          cpu.XScaleScaled(10),
+		Policy:       sched.LSA{},
+		RecordEnergy: true,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := res.EnergySeries.Values[res.EnergySeries.Len()-1]
+	if math.Abs(last-res.FinalLevel) > 1e-6 {
+		t.Fatalf("series end %v != final level %v", last, res.FinalLevel)
+	}
+}
+
+func TestGreedyVsEADVFSOnStochasticWorkloads(t *testing.T) {
+	// The §4.3 guard must help (or at least never hurt much) on the
+	// paper's stochastic workloads, pooled over seeds.
+	var greedy, ea int
+	for seed := uint64(0); seed < 6; seed++ {
+		for _, mk := range []func() sched.Policy{
+			func() sched.Policy { return sched.GreedyStretch{} },
+			func() sched.Policy { return core.NewEADVFS() },
+		} {
+			src := energy.NewSolarModel(seed)
+			cfg := &Config{
+				Horizon:   3000,
+				Tasks:     paperWorkload(seed, 0.6, 5),
+				Source:    src,
+				Predictor: energy.NewEWMA(0.2),
+				Store:     storage.NewIdeal(200),
+				CPU:       cpu.XScaleScaled(10),
+				Policy:    mk(),
+			}
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Policy == "greedy-stretch" {
+				greedy += res.Miss.Missed
+			} else {
+				ea += res.Miss.Missed
+			}
+		}
+	}
+	if ea > greedy {
+		t.Fatalf("EA-DVFS (%d misses) worse than greedy stretching (%d)", ea, greedy)
+	}
+}

@@ -1,0 +1,548 @@
+// Package sim couples the substrates — energy source, predictor, storage,
+// DVFS processor, task workload — under a scheduling policy and runs the
+// discrete-event simulation the paper's evaluation is built on (§5).
+//
+// Between events, the storage level evolves linearly (the source is
+// piecewise-constant per unit interval and the processor draws constant
+// power per operating point), so the engine advances state exactly: no
+// fixed-step numerical integration, no drift. Every behavioural change —
+// job arrival, completion, deadline expiry, storage depletion, a policy's
+// s1/s2 instants, unit boundaries — is an event.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/eadvfs/eadvfs/internal/cpu"
+	"github.com/eadvfs/eadvfs/internal/des"
+	"github.com/eadvfs/eadvfs/internal/energy"
+	"github.com/eadvfs/eadvfs/internal/metrics"
+	"github.com/eadvfs/eadvfs/internal/rng"
+	"github.com/eadvfs/eadvfs/internal/sched"
+	"github.com/eadvfs/eadvfs/internal/storage"
+	"github.com/eadvfs/eadvfs/internal/task"
+)
+
+// Event dispatch priorities at equal timestamps. The order encodes the
+// semantics: the predictor observes before anyone decides; a job finishing
+// exactly at its deadline counts as meeting it (completion before deadline
+// check); decisions always run last, over fully updated state.
+const (
+	prioBoundary = iota // unit boundary: observe predictor, sample energy
+	prioSegment         // end of a run/idle segment (completion, empty, until)
+	prioArrival         // job release
+	prioDeadline        // deadline miss check
+	prioDecide          // policy decision
+)
+
+// workEps is the remaining-work tolerance below which a job counts as
+// complete (absorbs float rounding in completion-time arithmetic).
+const workEps = 1e-9
+
+// stallEps is the storage-sustain time below which an execution request is
+// treated as unservable (§4.2: with no available energy the system stops).
+const stallEps = 1e-9
+
+// Mode is what the processor is doing over a segment.
+type Mode int
+
+// Processor activity modes.
+const (
+	ModeIdle  Mode = iota // no job selected; harvesting only
+	ModeRun               // executing a job at some operating point
+	ModeStall             // job selected but storage exhausted (§4.2)
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	switch m {
+	case ModeIdle:
+		return "idle"
+	case ModeRun:
+		return "run"
+	case ModeStall:
+		return "stall"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Tracer observes the schedule as it unfolds. All callbacks are optional
+// no-ops in implementations that do not care.
+type Tracer interface {
+	// OnSegment reports a maximal interval of constant activity.
+	OnSegment(start, end float64, mode Mode, job *task.Job, level int)
+	// OnEvent reports a point event: "arrival", "completion", "miss",
+	// "stall".
+	OnEvent(t float64, kind string, job *task.Job)
+}
+
+// Config describes one simulation run. Store and Predictor are stateful
+// and consumed by the run; construct fresh ones per run.
+type Config struct {
+	Horizon float64
+	Tasks   []task.Task
+	// Jobs are explicit job instances (e.g. a sporadic stream from
+	// task.GenerateSporadic) released in addition to the periodic Tasks'
+	// jobs. Jobs arriving at or after Horizon are ignored.
+	Jobs      []*task.Job
+	Source    energy.Source
+	Predictor energy.Predictor
+	Store     storage.Reservoir
+	CPU       *cpu.Processor
+	Policy    sched.Policy
+
+	// ContinueAfterDeadline keeps a job in the ready queue after it
+	// misses its deadline instead of dropping it (the default drops, which
+	// is what makes the paper's per-job miss rate well-defined).
+	ContinueAfterDeadline bool
+
+	// BCWCRatio is the best-case/worst-case execution-time ratio of the
+	// slack-reclamation extension: each job's actual work is drawn
+	// uniformly from [BCWCRatio·WCET, WCET], while schedulers keep
+	// budgeting the full WCET. 0 or 1 reproduces the paper's model
+	// (actual = WCET).
+	BCWCRatio float64
+
+	// ExecSeed seeds the per-job actual-work draws (default 1). Draws
+	// are per-(task, seq), so they do not depend on event ordering.
+	ExecSeed uint64
+
+	// RecordEnergy samples the storage level once per time unit into
+	// Result.EnergySeries (the raw material of Figures 6–7).
+	RecordEnergy bool
+
+	// Tracer, when non-nil, receives schedule segments and events.
+	Tracer Tracer
+}
+
+// Validate checks the configuration for structural errors.
+func (c *Config) Validate() error {
+	switch {
+	case c.Horizon <= 0 || math.IsNaN(c.Horizon) || math.IsInf(c.Horizon, 0):
+		return fmt.Errorf("sim: invalid horizon %v", c.Horizon)
+	case c.Source == nil:
+		return errors.New("sim: nil energy source")
+	case c.Predictor == nil:
+		return errors.New("sim: nil predictor")
+	case c.Store == nil:
+		return errors.New("sim: nil store")
+	case c.CPU == nil:
+		return errors.New("sim: nil processor")
+	case c.Policy == nil:
+		return errors.New("sim: nil policy")
+	case c.BCWCRatio < 0 || c.BCWCRatio > 1 || math.IsNaN(c.BCWCRatio):
+		return fmt.Errorf("sim: BCWCRatio %v outside [0, 1]", c.BCWCRatio)
+	}
+	for _, t := range c.Tasks {
+		if err := t.Validate(); err != nil {
+			return fmt.Errorf("sim: %w", err)
+		}
+	}
+	for i, j := range c.Jobs {
+		if j == nil {
+			return fmt.Errorf("sim: nil job at index %d", i)
+		}
+		if j.Done() || j.Remaining() != j.WCET {
+			return fmt.Errorf("sim: job %d/%d already executed", j.TaskID, j.Seq)
+		}
+	}
+	return nil
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	Policy string
+	Miss   metrics.MissStats
+
+	// EnergySeries holds EC(t) sampled at t = 0, 1, …, floor(Horizon)
+	// when Config.RecordEnergy is set; nil otherwise.
+	EnergySeries *metrics.Series
+
+	Meters     storage.Meters
+	FinalLevel float64
+
+	BusyTime  float64   // time executing
+	IdleTime  float64   // time idle by choice (laziness or no work)
+	StallTime float64   // time blocked on an empty store (§4.2)
+	LevelTime []float64 // execution time per operating point
+	CPUEnergy float64   // total energy delivered to the processor
+	Switches  int       // operating-point changes between run segments
+
+	// Preemptions counts a running, unfinished job being displaced by a
+	// different job; Decisions counts policy invocations. Together they
+	// measure a policy's runtime overhead.
+	Preemptions int
+	Decisions   int
+
+	// PerTask breaks releases, completions, misses and response times
+	// down by task, sorted by task ID. The aggregate Miss tallies are
+	// the column sums.
+	PerTask []*TaskStats
+
+	Events          uint64
+	ConservationErr float64
+}
+
+// engine is the per-run mutable state.
+type engine struct {
+	cfg    *Config
+	kernel *des.Kernel
+	queue  *task.ReadyQueue
+
+	lastT float64 // state integrated up to here
+
+	mode    Mode
+	running *task.Job
+	level   int
+
+	segStart  float64 // start of the current constant-activity segment
+	lastRunLv int     // level of the previous run segment, -1 before any
+
+	segEvent      *des.Event
+	decidePending bool
+
+	initialLevel float64
+	tasks        *taskTable
+	execRNG      *rng.RNG // per-job actual-work draws; nil when BCWCRatio is off
+	res          *Result
+}
+
+// Run executes the configured simulation and returns its result.
+func Run(cfg *Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	e := &engine{
+		cfg:       cfg,
+		kernel:    des.NewKernel(),
+		queue:     task.NewReadyQueue(),
+		lastRunLv: -1,
+		tasks:     newTaskTable(),
+		res: &Result{
+			Policy:    cfg.Policy.Name(),
+			LevelTime: make([]float64, cfg.CPU.Levels()),
+		},
+	}
+	e.initialLevel = cfg.Store.Level()
+	if cfg.BCWCRatio > 0 && cfg.BCWCRatio < 1 {
+		seed := cfg.ExecSeed
+		if seed == 0 {
+			seed = 1
+		}
+		e.execRNG = rng.New(seed)
+	}
+
+	if cfg.RecordEnergy {
+		n := int(math.Floor(cfg.Horizon)) + 1
+		e.res.EnergySeries = metrics.NewSeries(0, 1, n)
+		e.res.EnergySeries.Values[0] = cfg.Store.Level()
+	}
+
+	// Job releases: the periodic tasks' instances plus any explicit jobs.
+	release := task.ReleaseJobs(cfg.Tasks, cfg.Horizon)
+	for _, j := range cfg.Jobs {
+		if j.Arrival < cfg.Horizon {
+			release = append(release, j)
+		}
+	}
+	for _, j := range release {
+		j := j
+		e.kernel.At(j.Arrival, prioArrival, "arrival", func(now float64) { e.onArrival(now, j) })
+	}
+
+	// Unit-boundary chain: predictor observation + energy sampling.
+	if cfg.Horizon >= 1 {
+		e.kernel.At(1, prioBoundary, "boundary", e.onBoundary)
+	}
+
+	e.requestDecide(0)
+	e.kernel.RunUntil(cfg.Horizon)
+	e.syncTo(cfg.Horizon)
+	e.closeSegment(cfg.Horizon)
+
+	e.res.PerTask = e.tasks.table()
+	e.res.Meters = cfg.Store.Meters()
+	e.res.FinalLevel = cfg.Store.Level()
+	e.res.Events = e.kernel.Steps()
+	e.res.ConservationErr = cfg.Store.ConservationError(e.initialLevel)
+	if err := e.res.Miss.Check(); err != nil {
+		return nil, err
+	}
+	return e.res, nil
+}
+
+// cpuPower returns the processor draw for the current mode.
+func (e *engine) cpuPower() float64 {
+	switch e.mode {
+	case ModeRun:
+		return e.cfg.CPU.Power(e.level)
+	case ModeIdle:
+		return e.cfg.CPU.IdlePower()
+	default: // ModeStall: the system is down
+		return 0
+	}
+}
+
+// syncTo advances the energy and execution state from lastT to now,
+// splitting at unit boundaries where the source power changes. Activity is
+// constant across the whole span — behavioural changes are events, and
+// events call syncTo before mutating anything.
+func (e *engine) syncTo(now float64) {
+	if now < e.lastT-1e-9 {
+		panic(fmt.Sprintf("sim: syncTo backwards from %v to %v", e.lastT, now))
+	}
+	pc := e.cpuPower()
+	for e.lastT < now {
+		// Split at the next unit boundary: the source power is constant
+		// on [k, k+1). floor(lastT)+1 > lastT always, so progress is
+		// guaranteed.
+		end := math.Min(math.Floor(e.lastT)+1, now)
+		dt := end - e.lastT
+		ps := e.cfg.Source.PowerAt(e.lastT)
+		delivered, _ := e.cfg.Store.Flow(ps, pc, dt)
+		switch e.mode {
+		case ModeRun:
+			e.res.BusyTime += dt
+			e.res.LevelTime[e.level] += dt
+			e.res.CPUEnergy += delivered
+			e.running.Progress(e.cfg.CPU.Speed(e.level) * dt)
+		case ModeIdle:
+			e.res.IdleTime += dt
+			e.res.CPUEnergy += delivered
+		case ModeStall:
+			e.res.StallTime += dt
+		}
+		e.lastT = end
+	}
+	e.lastT = now
+}
+
+// setActivity transitions the processor's activity, closing the previous
+// trace segment and counting DVFS switches.
+func (e *engine) setActivity(now float64, mode Mode, j *task.Job, level int) {
+	if mode == e.mode && j == e.running && (mode != ModeRun || level == e.level) {
+		return
+	}
+	e.closeSegment(now)
+	if mode == ModeRun {
+		if e.lastRunLv >= 0 && e.lastRunLv != level {
+			e.res.Switches++
+			_, se := e.cfg.CPU.SwitchOverhead()
+			if se > 0 {
+				e.cfg.Store.Draw(se)
+			}
+		}
+		e.lastRunLv = level
+	}
+	e.mode = mode
+	e.running = j
+	e.level = level
+	e.segStart = now
+}
+
+// closeSegment emits the trace segment ending at now, if any.
+func (e *engine) closeSegment(now float64) {
+	if e.cfg.Tracer != nil && now > e.segStart {
+		e.cfg.Tracer.OnSegment(e.segStart, now, e.mode, e.running, e.level)
+	}
+	e.segStart = now
+}
+
+func (e *engine) emit(t float64, kind string, j *task.Job) {
+	if e.cfg.Tracer != nil {
+		e.cfg.Tracer.OnEvent(t, kind, j)
+	}
+}
+
+func (e *engine) onArrival(now float64, j *task.Job) {
+	e.syncTo(now)
+	if e.execRNG != nil {
+		// Deterministic per-(task, seq) draw, independent of event order.
+		stream := uint64(j.TaskID)<<32 ^ uint64(j.Seq)
+		r := e.execRNG.Child(stream)
+		j.SetActualWork(j.WCET * r.Uniform(e.cfg.BCWCRatio, 1))
+	}
+	e.res.Miss.Released++
+	e.tasks.released(j)
+	e.emit(now, "arrival", j)
+	if j.ActualRemaining() < workEps {
+		// Zero-work job (WCET 0, or a zero actual-work draw): completes
+		// at release without touching the processor.
+		if rem := j.ActualRemaining(); rem > 0 {
+			j.Progress(rem)
+		} else {
+			j.Progress(0)
+		}
+		e.res.Miss.Finished++
+		e.tasks.finished(j, now)
+		e.emit(now, "completion", j)
+		return
+	}
+	e.queue.Push(j)
+	// Deadline check, scheduled only if it falls inside the horizon; jobs
+	// whose deadlines lie beyond the horizon are left unadjudicated.
+	if j.Abs <= e.cfg.Horizon {
+		e.kernel.At(j.Abs, prioDeadline, "deadline", func(t float64) { e.onDeadline(t, j) })
+	}
+	e.requestDecide(now)
+}
+
+func (e *engine) onDeadline(now float64, j *task.Job) {
+	e.syncTo(now)
+	if j.Done() || j.Missed() {
+		return
+	}
+	j.MarkMissed()
+	e.res.Miss.Missed++
+	e.tasks.missed(j)
+	e.emit(now, "miss", j)
+	if !e.cfg.ContinueAfterDeadline {
+		e.queue.Remove(j)
+		if e.running == j {
+			e.setActivity(now, ModeIdle, nil, 0)
+		}
+	}
+	e.requestDecide(now)
+}
+
+func (e *engine) onBoundary(now float64) {
+	e.syncTo(now)
+	e.cfg.Predictor.Observe(now-1, e.cfg.Source.PowerAt(now-1))
+	if s := e.res.EnergySeries; s != nil {
+		k := int(math.Round(now))
+		if k < s.Len() {
+			s.Values[k] = e.cfg.Store.Level()
+		}
+	}
+	if now+1 <= e.cfg.Horizon {
+		e.kernel.At(now+1, prioBoundary, "boundary", e.onBoundary)
+	}
+	// Harvest conditions changed: lazy policies must re-evaluate s1/s2.
+	e.requestDecide(now)
+}
+
+// onSegmentEnd fires when the current activity's natural end is reached:
+// job completion, storage depletion, or the policy's requested
+// re-evaluation instant. All three reduce to "update state, re-decide".
+func (e *engine) onSegmentEnd(now float64) {
+	e.syncTo(now)
+	e.finishIfDone(now)
+	e.requestDecide(now)
+}
+
+// finishIfDone retires the running job if its work is (numerically)
+// exhausted.
+func (e *engine) finishIfDone(now float64) {
+	j := e.running
+	if e.mode != ModeRun || j == nil {
+		return
+	}
+	if rem := j.ActualRemaining(); rem > 0 && rem < workEps {
+		j.Progress(rem)
+	}
+	if j.Done() {
+		e.queue.Remove(j)
+		if !j.Missed() {
+			// Finished counts on-time completions only; under
+			// ContinueAfterDeadline a job can complete after its miss was
+			// already tallied.
+			e.res.Miss.Finished++
+			e.tasks.finished(j, now)
+		}
+		e.emit(now, "completion", j)
+		e.setActivity(now, ModeIdle, nil, 0)
+	}
+}
+
+func (e *engine) requestDecide(now float64) {
+	if e.decidePending {
+		return
+	}
+	e.decidePending = true
+	e.kernel.At(now, prioDecide, "decide", e.onDecide)
+}
+
+func (e *engine) onDecide(now float64) {
+	e.decidePending = false
+	e.syncTo(now)
+	e.finishIfDone(now)
+
+	if e.segEvent != nil {
+		e.kernel.Cancel(e.segEvent)
+		e.segEvent = nil
+	}
+
+	ctx := &sched.Context{
+		Now:       now,
+		Queue:     e.queue,
+		Stored:    e.cfg.Store.Level(),
+		Capacity:  e.cfg.Store.Capacity(),
+		CPU:       e.cfg.CPU,
+		Predictor: e.cfg.Predictor,
+	}
+	d := e.cfg.Policy.Decide(ctx)
+	e.res.Decisions++
+	if e.mode == ModeRun && e.running != nil && !e.running.Done() &&
+		d.Job != nil && d.Job != e.running {
+		e.res.Preemptions++
+	}
+
+	if d.Job == nil {
+		e.setActivity(now, ModeIdle, nil, 0)
+		until := d.Until
+		if idle := e.cfg.CPU.IdlePower(); idle > 0 {
+			// A non-zero idle draw can also empty the store; split there
+			// so the exact-flow precondition holds.
+			sustain := e.cfg.Store.TimeToEmpty(e.cfg.Source.PowerAt(now), idle)
+			if sustain < stallEps {
+				e.setActivity(now, ModeStall, nil, 0)
+				return
+			}
+			until = math.Min(until, now+sustain)
+		}
+		e.scheduleSegmentEnd(now, math.Inf(1), until)
+		return
+	}
+	if d.Job.Done() {
+		panic(fmt.Sprintf("sim: policy %s scheduled a finished job", e.cfg.Policy.Name()))
+	}
+
+	ps := e.cfg.Source.PowerAt(now)
+	pc := e.cfg.CPU.Power(d.Level)
+	sustain := e.cfg.Store.TimeToEmpty(ps, pc)
+	if sustain < stallEps {
+		// §4.2: no available energy — the system stops until conditions
+		// change (next unit boundary or arrival re-decides).
+		wasStalled := e.mode == ModeStall && e.running == d.Job
+		e.setActivity(now, ModeStall, d.Job, d.Level)
+		if !wasStalled {
+			e.emit(now, "stall", d.Job)
+		}
+		return
+	}
+
+	e.setActivity(now, ModeRun, d.Job, d.Level)
+	completion := now + d.Job.ActualRemaining()/e.cfg.CPU.Speed(d.Level)
+	e.scheduleSegmentEnd(now, completion, math.Min(d.Until, now+sustain))
+}
+
+// scheduleSegmentEnd installs the next forced re-evaluation at
+// min(completion, until), if finite. Unit boundaries and arrivals fire
+// their own events, so a segment never actually outlives a source change:
+// the depletion time computed above is exact within the current unit.
+func (e *engine) scheduleSegmentEnd(now, completion, until float64) {
+	end := math.Min(completion, until)
+	if math.IsInf(end, 1) {
+		return
+	}
+	if end < now+1e-12 {
+		end = now + 1e-12 // forward progress even on degenerate inputs
+	}
+	if end > e.cfg.Horizon {
+		return // the run ends first
+	}
+	e.segEvent = e.kernel.At(end, prioSegment, "segment-end", e.onSegmentEnd)
+}

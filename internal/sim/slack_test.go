@@ -1,0 +1,179 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"github.com/eadvfs/eadvfs/internal/core"
+	"github.com/eadvfs/eadvfs/internal/cpu"
+	"github.com/eadvfs/eadvfs/internal/energy"
+	"github.com/eadvfs/eadvfs/internal/sched"
+	"github.com/eadvfs/eadvfs/internal/storage"
+	"github.com/eadvfs/eadvfs/internal/task"
+)
+
+func slackCfg(ratio float64, policy sched.Policy) *Config {
+	src := energy.NewSolarModel(21)
+	return &Config{
+		Horizon:   3000,
+		Tasks:     paperWorkload(21, 0.5, 5),
+		Source:    src,
+		Predictor: energy.NewEWMA(0.2),
+		Store:     storage.NewIdeal(300),
+		CPU:       cpu.XScaleScaled(10),
+		Policy:    policy,
+		BCWCRatio: ratio,
+		ExecSeed:  3,
+	}
+}
+
+func TestBCWCRatioReducesBusyTime(t *testing.T) {
+	full, err := Run(slackCfg(0, sched.EDF{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	half, err := Run(slackCfg(0.5, sched.EDF{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected actual work is 75% of WCET; dropped jobs blur the exact
+	// ratio, but busy time must fall distinctly.
+	if half.BusyTime >= full.BusyTime*0.95 {
+		t.Fatalf("busy time %v (bcwc=0.5) vs %v (worst case): early completions not happening",
+			half.BusyTime, full.BusyTime)
+	}
+}
+
+func TestBCWCRatioNeverIncreasesMissesMuch(t *testing.T) {
+	// Early completions free time and energy; across policies the miss
+	// count with slack must not exceed the worst-case run's.
+	for _, mk := range []func() sched.Policy{
+		func() sched.Policy { return sched.LSA{} },
+		func() sched.Policy { return core.NewEADVFS() },
+	} {
+		full, err := Run(slackCfg(0, mk()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		half, err := Run(slackCfg(0.4, mk()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if half.Miss.Missed > full.Miss.Missed {
+			t.Fatalf("%s: misses rose from %d to %d with shorter jobs",
+				full.Policy, full.Miss.Missed, half.Miss.Missed)
+		}
+	}
+}
+
+func TestBCWCRatioDeterministicAcrossRuns(t *testing.T) {
+	a, err := Run(slackCfg(0.6, core.NewEADVFS()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(slackCfg(0.6, core.NewEADVFS()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Miss != b.Miss || a.BusyTime != b.BusyTime {
+		t.Fatal("slack draws not deterministic")
+	}
+}
+
+func TestBCWCRatioValidation(t *testing.T) {
+	cfg := slackCfg(1.5, sched.EDF{})
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("BCWCRatio > 1 accepted")
+	}
+	cfg = slackCfg(-0.1, sched.EDF{})
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("negative BCWCRatio accepted")
+	}
+}
+
+func TestSchedulerSeesBudgetNotActual(t *testing.T) {
+	// A single job with actual < WCET under LSA: the lazy start time is
+	// computed from the WCET budget, so execution starts at the same s2
+	// as the worst-case run and simply finishes early.
+	mk := func(ratio float64) *Config {
+		src := energy.NewConstant(0.5)
+		return &Config{
+			Horizon:   25,
+			Tasks:     []task.Task{{ID: 1, Period: 1e9, Deadline: 16, WCET: 4}},
+			Source:    src,
+			Predictor: energy.NewOracle(src),
+			Store:     storage.New(1e6, 24),
+			CPU:       cpu.TwoSpeed(8),
+			Policy:    sched.LSA{},
+			BCWCRatio: ratio,
+			ExecSeed:  7,
+		}
+	}
+	recFull := &recorder{}
+	cfgFull := mk(0)
+	cfgFull.Tracer = recFull
+	if _, err := Run(cfgFull); err != nil {
+		t.Fatal(err)
+	}
+	recHalf := &recorder{}
+	cfgHalf := mk(0.5)
+	cfgHalf.Tracer = recHalf
+	if _, err := Run(cfgHalf); err != nil {
+		t.Fatal(err)
+	}
+	sFull, _ := recFull.firstRun(1)
+	sHalf, _ := recHalf.firstRun(1)
+	if math.Abs(sFull-sHalf) > 1e-9 {
+		t.Fatalf("start times differ (%v vs %v): scheduler leaked actual work", sFull, sHalf)
+	}
+	fFull, _ := recFull.completion(1)
+	fHalf, _ := recHalf.completion(1)
+	if fHalf >= fFull {
+		t.Fatalf("shorter job did not finish earlier: %v vs %v", fHalf, fFull)
+	}
+}
+
+func TestJobActualWorkAPI(t *testing.T) {
+	j := task.NewJob(0, 0, 0, 10, 4)
+	if j.ActualRemaining() != 4 {
+		t.Fatalf("default actual = %v", j.ActualRemaining())
+	}
+	j.SetActualWork(2.5)
+	if j.ActualRemaining() != 2.5 || j.Remaining() != 4 {
+		t.Fatalf("actual/budget = %v/%v", j.ActualRemaining(), j.Remaining())
+	}
+	j.Progress(2.5)
+	if !j.Done() {
+		t.Fatal("job not done at actual work exhaustion")
+	}
+	if math.Abs(j.Remaining()-1.5) > 1e-12 {
+		t.Fatalf("budget remaining = %v, want 1.5", j.Remaining())
+	}
+}
+
+func TestSetActualWorkValidation(t *testing.T) {
+	for i, f := range []func(){
+		func() { task.NewJob(0, 0, 0, 10, 4).SetActualWork(5) },
+		func() { task.NewJob(0, 0, 0, 10, 4).SetActualWork(-1) },
+		func() {
+			j := task.NewJob(0, 0, 0, 10, 4)
+			j.Progress(1)
+			j.SetActualWork(2)
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+	// Zero actual work completes immediately.
+	j := task.NewJob(0, 0, 0, 10, 4)
+	j.SetActualWork(0)
+	if !j.Done() {
+		t.Fatal("zero actual work not done")
+	}
+}

@@ -1,0 +1,126 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"github.com/eadvfs/eadvfs/internal/core"
+	"github.com/eadvfs/eadvfs/internal/cpu"
+	"github.com/eadvfs/eadvfs/internal/energy"
+	"github.com/eadvfs/eadvfs/internal/rng"
+	"github.com/eadvfs/eadvfs/internal/sched"
+	"github.com/eadvfs/eadvfs/internal/storage"
+	"github.com/eadvfs/eadvfs/internal/task"
+)
+
+func sporadicJobs(t *testing.T, seed uint64, horizon float64) []*task.Job {
+	t.Helper()
+	jobs, err := task.GenerateSporadic(task.SporadicSpec{
+		TaskID: 100, Rate: 0.05, MinSeparation: 4,
+		Deadline: 30, WCETMin: 1, WCETMax: 5,
+	}, horizon, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return jobs
+}
+
+func TestEngineSporadicOnly(t *testing.T) {
+	jobs := sporadicJobs(t, 4, 2000)
+	src := energy.NewSolarModel(4)
+	cfg := &Config{
+		Horizon:   2000,
+		Jobs:      jobs,
+		Source:    src,
+		Predictor: energy.NewEWMA(0.2),
+		Store:     storage.NewIdeal(300),
+		CPU:       cpu.XScaleScaled(10),
+		Policy:    core.NewEADVFS(),
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Miss.Released != len(jobs) {
+		t.Fatalf("released %d of %d sporadic jobs", res.Miss.Released, len(jobs))
+	}
+	if err := res.Miss.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.ConservationErr) > 1e-5*(1+res.Meters.Harvested) {
+		t.Fatalf("conservation error %v", res.ConservationErr)
+	}
+}
+
+func TestEngineMixedPeriodicAndSporadic(t *testing.T) {
+	jobs := sporadicJobs(t, 5, 1000)
+	src := energy.NewConstant(8)
+	cfg := &Config{
+		Horizon:   1000,
+		Tasks:     []task.Task{{ID: 0, Period: 25, Deadline: 25, WCET: 2}},
+		Jobs:      jobs,
+		Source:    src,
+		Predictor: energy.NewOracle(src),
+		Store:     storage.New(1e5, 1e5),
+		CPU:       cpu.XScaleScaled(10),
+		Policy:    sched.EDF{},
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantReleased := 40 + len(jobs)
+	if res.Miss.Released != wantReleased {
+		t.Fatalf("released %d, want %d", res.Miss.Released, wantReleased)
+	}
+	// Per-task rows: periodic task 0 plus sporadic task 100.
+	ids := map[int]bool{}
+	for _, s := range res.PerTask {
+		ids[s.TaskID] = true
+	}
+	if !ids[0] || !ids[100] {
+		t.Fatalf("per-task rows missing: %v", ids)
+	}
+}
+
+func TestEngineRejectsUsedJobs(t *testing.T) {
+	j := task.NewJob(0, 0, 1, 10, 2)
+	j.Progress(1)
+	src := energy.NewConstant(1)
+	cfg := &Config{
+		Horizon:   100,
+		Jobs:      []*task.Job{j},
+		Source:    src,
+		Predictor: energy.NewOracle(src),
+		Store:     storage.NewIdeal(10),
+		CPU:       cpu.XScale(),
+		Policy:    sched.EDF{},
+	}
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("partially executed job accepted")
+	}
+	cfg.Jobs = []*task.Job{nil}
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("nil job accepted")
+	}
+}
+
+func TestEngineIgnoresJobsBeyondHorizon(t *testing.T) {
+	src := energy.NewConstant(5)
+	cfg := &Config{
+		Horizon:   50,
+		Jobs:      []*task.Job{task.NewJob(0, 0, 60, 10, 1)},
+		Source:    src,
+		Predictor: energy.NewOracle(src),
+		Store:     storage.NewIdeal(100),
+		CPU:       cpu.XScale(),
+		Policy:    sched.EDF{},
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Miss.Released != 0 {
+		t.Fatalf("released %d jobs beyond horizon", res.Miss.Released)
+	}
+}

@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"sort"
+
+	"github.com/eadvfs/eadvfs/internal/metrics"
+	"github.com/eadvfs/eadvfs/internal/task"
+)
+
+// TaskStats is the per-task breakdown of a run: which tasks actually
+// suffer the deadline misses, and how long their jobs take to come back.
+// Response times are measured from release to completion and include only
+// on-time completions (a dropped job has no response).
+type TaskStats struct {
+	TaskID   int
+	Released int
+	Finished int
+	Missed   int
+
+	ResponseMean float64
+	ResponseMax  float64
+
+	resp metrics.Welford
+}
+
+// MissRate returns the task's own deadline miss rate.
+func (t *TaskStats) MissRate() float64 {
+	if t.Released == 0 {
+		return 0
+	}
+	return float64(t.Missed) / float64(t.Released)
+}
+
+// taskTable accumulates per-task statistics during a run.
+type taskTable struct {
+	byID map[int]*TaskStats
+}
+
+func newTaskTable() *taskTable {
+	return &taskTable{byID: make(map[int]*TaskStats)}
+}
+
+func (tt *taskTable) get(id int) *TaskStats {
+	s, ok := tt.byID[id]
+	if !ok {
+		s = &TaskStats{TaskID: id}
+		tt.byID[id] = s
+	}
+	return s
+}
+
+func (tt *taskTable) released(j *task.Job) { tt.get(j.TaskID).Released++ }
+
+func (tt *taskTable) finished(j *task.Job, now float64) {
+	s := tt.get(j.TaskID)
+	s.Finished++
+	r := now - j.Arrival
+	s.resp.Add(r)
+	if r > s.ResponseMax {
+		s.ResponseMax = r
+	}
+}
+
+func (tt *taskTable) missed(j *task.Job) { tt.get(j.TaskID).Missed++ }
+
+// table returns the stats sorted by task ID with derived fields filled.
+func (tt *taskTable) table() []*TaskStats {
+	out := make([]*TaskStats, 0, len(tt.byID))
+	for _, s := range tt.byID {
+		s.ResponseMean = s.resp.Mean()
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].TaskID < out[j].TaskID })
+	return out
+}

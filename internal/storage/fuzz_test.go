@@ -1,0 +1,76 @@
+package storage
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzFlow drives a store through fuzzer-chosen flow sequences (split at
+// the empty crossing like the engine does) and checks the level bounds
+// and energy conservation — the two invariants every experiment depends
+// on. Runs its seed corpus under `go test`; fuzz with `go test -fuzz
+// FuzzFlow ./internal/storage`.
+func FuzzFlow(f *testing.F) {
+	f.Add(uint16(100), byte(128), []byte{1, 2, 3, 4, 5, 6})
+	f.Add(uint16(5), byte(0), []byte{255, 255, 0, 0, 9})
+	f.Add(uint16(5000), byte(255), []byte{7})
+	f.Fuzz(func(t *testing.T, capRaw uint16, initFrac byte, ops []byte) {
+		capacity := 1 + float64(capRaw)
+		initial := capacity * float64(initFrac) / 255
+		s := New(capacity, initial,
+			WithChargeEfficiency(0.9), WithDischargeEfficiency(0.85), WithLeakage(0.01))
+		if len(ops) > 600 {
+			ops = ops[:600]
+		}
+		for i := 0; i+2 < len(ops); i += 3 {
+			ps := float64(ops[i]) / 8
+			pc := float64(ops[i+1]) / 8
+			dt := float64(ops[i+2]) / 32
+			if tte := s.TimeToEmpty(ps, pc); dt >= tte {
+				s.Flow(ps, pc, tte)
+				s.Flow(ps, 0, dt-tte)
+			} else {
+				s.Flow(ps, pc, dt)
+			}
+			if s.Level() < -1e-6 || s.Level() > capacity+1e-6 {
+				t.Fatalf("level %v outside [0, %v]", s.Level(), capacity)
+			}
+		}
+		if err := s.ConservationError(initial); math.Abs(err) > 1e-5*(1+s.Meters().Harvested) {
+			t.Fatalf("conservation error %v", err)
+		}
+	})
+}
+
+// FuzzHybridFlow is the same invariant check for the two-tier reservoir.
+func FuzzHybridFlow(f *testing.F) {
+	f.Add([]byte{10, 3, 8, 200, 0, 16})
+	f.Add([]byte{0, 255, 1, 1, 1, 1, 90, 2, 60})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		h := NewHybrid(25, 10, 300, 150, 0.8)
+		initial := h.Level()
+		if len(ops) > 600 {
+			ops = ops[:600]
+		}
+		for i := 0; i+2 < len(ops); i += 3 {
+			ps := float64(ops[i]) / 8
+			pc := float64(ops[i+1]) / 8
+			dt := float64(ops[i+2]) / 32
+			if tte := h.TimeToEmpty(ps, pc); dt >= tte {
+				h.Flow(ps, pc, tte)
+				h.Flow(ps, 0, dt-tte)
+			} else {
+				h.Flow(ps, pc, dt)
+			}
+			if h.Level() < -1e-6 || h.Level() > h.Capacity()+1e-6 {
+				t.Fatalf("level %v outside bounds", h.Level())
+			}
+			if h.CapLevel() < -1e-6 || h.BattLevel() < -1e-6 {
+				t.Fatalf("tier level negative: %v / %v", h.CapLevel(), h.BattLevel())
+			}
+		}
+		if err := h.ConservationError(initial); math.Abs(err) > 1e-5*(1+h.Meters().Harvested) {
+			t.Fatalf("conservation error %v", err)
+		}
+	})
+}

@@ -1,0 +1,177 @@
+package storage
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHybridImplementsReservoir(t *testing.T) {
+	var _ Reservoir = NewHybrid(10, 10, 100, 50, 0.8)
+	var _ Reservoir = New(10, 5)
+}
+
+func TestHybridLevelAndCapacity(t *testing.T) {
+	h := NewHybrid(10, 4, 100, 60, 0.9)
+	if h.Level() != 64 || h.Capacity() != 110 {
+		t.Fatalf("level/cap = %v/%v", h.Level(), h.Capacity())
+	}
+	if h.CapLevel() != 4 || h.BattLevel() != 60 {
+		t.Fatalf("tier levels = %v/%v", h.CapLevel(), h.BattLevel())
+	}
+}
+
+func TestHybridValidation(t *testing.T) {
+	for i, f := range []func(){
+		func() { NewHybrid(10, 4, 100, 60, 0) },
+		func() { NewHybrid(10, 4, 100, 60, 1.5) },
+		func() { NewHybrid(10, 12, 100, 60, 0.9) }, // cap level > size
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestHybridChargePriority(t *testing.T) {
+	// Surplus fills the supercap first.
+	h := NewHybrid(10, 0, 100, 0, 0.8)
+	h.Flow(5, 0, 1) // 5 energy surplus
+	if math.Abs(h.CapLevel()-5) > 1e-9 || h.BattLevel() != 0 {
+		t.Fatalf("tiers after partial charge = %v/%v", h.CapLevel(), h.BattLevel())
+	}
+	// Next 2 units fill the cap (10) and spill 5 into the battery at 0.8.
+	h.Flow(5, 0, 2)
+	if math.Abs(h.CapLevel()-10) > 1e-9 {
+		t.Fatalf("cap = %v, want full", h.CapLevel())
+	}
+	if math.Abs(h.BattLevel()-4) > 1e-9 {
+		t.Fatalf("battery = %v, want 5*0.8 = 4", h.BattLevel())
+	}
+}
+
+func TestHybridOverflowWhenBothFull(t *testing.T) {
+	h := NewHybrid(10, 10, 20, 20, 0.8)
+	_, overflow := h.Flow(3, 1, 2) // surplus 2/unit for 2 units
+	if math.Abs(overflow-4) > 1e-9 {
+		t.Fatalf("overflow = %v, want 4", overflow)
+	}
+}
+
+func TestHybridDrainPriority(t *testing.T) {
+	h := NewHybrid(10, 6, 100, 50, 0.8)
+	// Deficit 3/unit for 2 units: 6 from the supercap exactly.
+	h.Flow(1, 4, 2)
+	if math.Abs(h.CapLevel()) > 1e-9 {
+		t.Fatalf("cap = %v, want drained", h.CapLevel())
+	}
+	if math.Abs(h.BattLevel()-50) > 1e-9 {
+		t.Fatalf("battery touched early: %v", h.BattLevel())
+	}
+	// Two more units: 6 delivered from the battery costs 6/0.8 = 7.5.
+	h.Flow(1, 4, 2)
+	if math.Abs(h.BattLevel()-42.5) > 1e-9 {
+		t.Fatalf("battery = %v, want 42.5", h.BattLevel())
+	}
+}
+
+func TestHybridTimeToEmpty(t *testing.T) {
+	h := NewHybrid(10, 6, 100, 40, 0.8)
+	// Deficit 2: 6/2 = 3 from cap, 40*0.8/2 = 16 from battery → 19.
+	if got := h.TimeToEmpty(1, 3); math.Abs(got-19) > 1e-9 {
+		t.Fatalf("TTE = %v, want 19", got)
+	}
+	if got := h.TimeToEmpty(3, 3); !math.IsInf(got, 1) {
+		t.Fatalf("TTE balanced = %v, want +Inf", got)
+	}
+}
+
+func TestHybridFlowPanicsPastEmpty(t *testing.T) {
+	h := NewHybrid(10, 1, 100, 0, 0.8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic past empty")
+		}
+	}()
+	h.Flow(0, 2, 1)
+}
+
+func TestHybridDraw(t *testing.T) {
+	h := NewHybrid(10, 3, 100, 10, 0.5)
+	got := h.Draw(5) // 3 from cap, 2 delivered from battery costs 4
+	if math.Abs(got-5) > 1e-9 {
+		t.Fatalf("draw = %v", got)
+	}
+	if math.Abs(h.BattLevel()-6) > 1e-9 {
+		t.Fatalf("battery = %v, want 6", h.BattLevel())
+	}
+}
+
+func TestHybridConservation(t *testing.T) {
+	h := NewHybrid(10, 5, 100, 30, 0.8)
+	initial := h.Level()
+	// A mixed sequence with crossings, respecting TTE.
+	flows := [][3]float64{{5, 1, 4}, {0, 2, 3}, {8, 1, 5}, {0, 3, 2}, {2, 2, 6}}
+	for _, f := range flows {
+		ps, pc, dt := f[0], f[1], f[2]
+		tte := h.TimeToEmpty(ps, pc)
+		if dt > tte {
+			dt = tte
+		}
+		h.Flow(ps, pc, dt)
+	}
+	if err := h.ConservationError(initial); math.Abs(err) > 1e-6 {
+		t.Fatalf("conservation error = %v", err)
+	}
+}
+
+// Property: level bounds and conservation hold for arbitrary flow
+// sequences split at TTE like the engine does.
+func TestHybridInvariantsProperty(t *testing.T) {
+	f := func(ops []struct{ Ps, Pc, Dt uint8 }) bool {
+		h := NewHybrid(20, 10, 200, 100, 0.85)
+		initial := h.Level()
+		if len(ops) > 60 {
+			ops = ops[:60]
+		}
+		for _, o := range ops {
+			ps := float64(o.Ps) / 16
+			pc := float64(o.Pc) / 16
+			dt := float64(o.Dt) / 64
+			tte := h.TimeToEmpty(ps, pc)
+			if dt >= tte {
+				h.Flow(ps, pc, tte)
+				h.Flow(ps, 0, dt-tte)
+			} else {
+				h.Flow(ps, pc, dt)
+			}
+			if h.Level() < -1e-9 || h.Level() > h.Capacity()+1e-9 {
+				return false
+			}
+			if h.CapLevel() > 20+1e-9 || h.BattLevel() > 200+1e-9 {
+				return false
+			}
+		}
+		return math.Abs(h.ConservationError(initial)) < 1e-6*(1+h.Meters().Harvested)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHybridMeters(t *testing.T) {
+	h := NewHybrid(10, 0, 100, 0, 0.8)
+	h.Flow(4, 1, 10) // 40 harvested, 10 delivered
+	m := h.Meters()
+	if math.Abs(m.Harvested-40) > 1e-9 {
+		t.Fatalf("harvested = %v", m.Harvested)
+	}
+	if math.Abs(m.Drawn-10) > 1e-9 {
+		t.Fatalf("drawn = %v", m.Drawn)
+	}
+}

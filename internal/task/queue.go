@@ -1,0 +1,85 @@
+package task
+
+import "container/heap"
+
+// ReadyQueue is the EDF-ordered set of released, unfinished jobs — the
+// paper's queue Q ("maintain a task queue Q containing all ready but not
+// finished tasks", Fig. 4 line 1). The earliest-deadline job is always at
+// the head; ordering is the total order of EarlierDeadline.
+type ReadyQueue struct {
+	h jobHeap
+}
+
+type jobHeap []*Job
+
+func (h jobHeap) Len() int           { return len(h) }
+func (h jobHeap) Less(i, j int) bool { return EarlierDeadline(h[i], h[j]) }
+func (h jobHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *jobHeap) Push(x any)        { *h = append(*h, x.(*Job)) }
+func (h *jobHeap) Pop() any {
+	old := *h
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return j
+}
+
+// NewReadyQueue returns an empty queue.
+func NewReadyQueue() *ReadyQueue { return &ReadyQueue{} }
+
+// Len returns the number of queued jobs.
+func (q *ReadyQueue) Len() int { return len(q.h) }
+
+// Push adds a released job.
+func (q *ReadyQueue) Push(j *Job) {
+	if j == nil {
+		panic("task: pushing nil job")
+	}
+	heap.Push(&q.h, j)
+}
+
+// Peek returns the earliest-deadline job without removing it, or nil.
+func (q *ReadyQueue) Peek() *Job {
+	if len(q.h) == 0 {
+		return nil
+	}
+	return q.h[0]
+}
+
+// Pop removes and returns the earliest-deadline job, or nil.
+func (q *ReadyQueue) Pop() *Job {
+	if len(q.h) == 0 {
+		return nil
+	}
+	return heap.Pop(&q.h).(*Job)
+}
+
+// Remove deletes a specific job (e.g. dropped at its deadline). It reports
+// whether the job was present.
+func (q *ReadyQueue) Remove(j *Job) bool {
+	for i, cand := range q.h {
+		if cand == j {
+			heap.Remove(&q.h, i)
+			return true
+		}
+	}
+	return false
+}
+
+// Jobs returns the queued jobs in no particular order (a copy).
+func (q *ReadyQueue) Jobs() []*Job {
+	return append([]*Job(nil), q.h...)
+}
+
+// ExpiredBefore returns (without removing) all jobs whose absolute deadline
+// is <= t and that are not finished — candidates for miss accounting.
+func (q *ReadyQueue) ExpiredBefore(t float64) []*Job {
+	var out []*Job
+	for _, j := range q.h {
+		if j.Abs <= t && !j.Done() {
+			out = append(out, j)
+		}
+	}
+	return out
+}

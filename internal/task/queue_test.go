@@ -1,0 +1,131 @@
+package task
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestQueueEDFOrder(t *testing.T) {
+	q := NewReadyQueue()
+	j1 := NewJob(0, 0, 0, 30, 1)
+	j2 := NewJob(1, 0, 0, 10, 1)
+	j3 := NewJob(2, 0, 0, 20, 1)
+	q.Push(j1)
+	q.Push(j2)
+	q.Push(j3)
+	if q.Len() != 3 {
+		t.Fatalf("len = %d", q.Len())
+	}
+	if got := q.Pop(); got != j2 {
+		t.Fatalf("first pop = task %d, want 1", got.TaskID)
+	}
+	if got := q.Pop(); got != j3 {
+		t.Fatalf("second pop = task %d, want 2", got.TaskID)
+	}
+	if got := q.Pop(); got != j1 {
+		t.Fatalf("third pop = task %d, want 0", got.TaskID)
+	}
+	if q.Pop() != nil {
+		t.Fatal("pop from empty queue returned a job")
+	}
+}
+
+func TestQueuePeekDoesNotRemove(t *testing.T) {
+	q := NewReadyQueue()
+	j := NewJob(0, 0, 0, 10, 1)
+	q.Push(j)
+	if q.Peek() != j || q.Len() != 1 {
+		t.Fatal("peek removed or missed the job")
+	}
+}
+
+func TestQueuePeekEmpty(t *testing.T) {
+	if NewReadyQueue().Peek() != nil {
+		t.Fatal("peek on empty queue returned a job")
+	}
+}
+
+func TestQueueRemove(t *testing.T) {
+	q := NewReadyQueue()
+	j1 := NewJob(0, 0, 0, 10, 1)
+	j2 := NewJob(1, 0, 0, 20, 1)
+	j3 := NewJob(2, 0, 0, 30, 1)
+	q.Push(j1)
+	q.Push(j2)
+	q.Push(j3)
+	if !q.Remove(j2) {
+		t.Fatal("Remove failed on present job")
+	}
+	if q.Remove(j2) {
+		t.Fatal("Remove succeeded on absent job")
+	}
+	if q.Len() != 2 || q.Peek() != j1 {
+		t.Fatal("queue corrupted after remove")
+	}
+	if q.Pop() != j1 || q.Pop() != j3 {
+		t.Fatal("EDF order broken after remove")
+	}
+}
+
+func TestQueuePushNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Push(nil) did not panic")
+		}
+	}()
+	NewReadyQueue().Push(nil)
+}
+
+func TestExpiredBefore(t *testing.T) {
+	q := NewReadyQueue()
+	j1 := NewJob(0, 0, 0, 5, 1)  // abs 5
+	j2 := NewJob(1, 0, 0, 15, 1) // abs 15
+	q.Push(j1)
+	q.Push(j2)
+	exp := q.ExpiredBefore(10)
+	if len(exp) != 1 || exp[0] != j1 {
+		t.Fatalf("ExpiredBefore(10) = %d jobs", len(exp))
+	}
+	// Finished jobs are never expired.
+	j1.Progress(1)
+	if got := q.ExpiredBefore(10); len(got) != 0 {
+		t.Fatalf("finished job reported expired")
+	}
+}
+
+func TestJobsReturnsCopy(t *testing.T) {
+	q := NewReadyQueue()
+	q.Push(NewJob(0, 0, 0, 10, 1))
+	js := q.Jobs()
+	js[0] = nil
+	if q.Peek() == nil {
+		t.Fatal("mutating Jobs() result corrupted the queue")
+	}
+}
+
+// Property: popping the whole queue always yields jobs in EDF total order.
+func TestQueueOrderProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) > 100 {
+			raw = raw[:100]
+		}
+		q := NewReadyQueue()
+		for i, v := range raw {
+			a := float64(v % 50)
+			d := 1 + float64(v/50%40)
+			q.Push(NewJob(i, 0, a, d, 0.5))
+		}
+		prev := q.Pop()
+		for q.Len() > 0 {
+			next := q.Pop()
+			if EarlierDeadline(next, prev) {
+				return false
+			}
+			prev = next
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,81 @@
+package task
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/eadvfs/eadvfs/internal/rng"
+)
+
+// SporadicSpec describes a sporadic job stream: arrivals follow a Poisson
+// process thinned by a minimum inter-arrival separation (the classic
+// sporadic task model), each job carrying a relative deadline and a WCET
+// drawn uniformly from a range. The paper's system model (§3.3) only
+// requires that parameters become known at release — periodicity is an
+// evaluation choice, and this generator exercises the policies without it.
+type SporadicSpec struct {
+	TaskID int
+	// Rate is the mean arrival rate λ of the underlying Poisson process.
+	Rate float64
+	// MinSeparation is the enforced minimum gap between releases.
+	MinSeparation float64
+	// Deadline is the relative deadline of every job.
+	Deadline float64
+	// WCETMin and WCETMax bound the per-job uniform WCET draw.
+	WCETMin, WCETMax float64
+}
+
+// Validate checks the spec.
+func (s SporadicSpec) Validate() error {
+	switch {
+	case s.Rate <= 0 || math.IsNaN(s.Rate) || math.IsInf(s.Rate, 0):
+		return fmt.Errorf("task: sporadic rate %v invalid", s.Rate)
+	case s.MinSeparation < 0:
+		return fmt.Errorf("task: negative separation %v", s.MinSeparation)
+	case s.Deadline <= 0:
+		return fmt.Errorf("task: sporadic deadline %v invalid", s.Deadline)
+	case s.WCETMin < 0 || s.WCETMax < s.WCETMin:
+		return fmt.Errorf("task: sporadic wcet range [%v, %v] invalid", s.WCETMin, s.WCETMax)
+	case s.WCETMax > s.Deadline:
+		return fmt.Errorf("task: sporadic wcet %v can exceed deadline %v", s.WCETMax, s.Deadline)
+	}
+	return nil
+}
+
+// MeanUtilization returns the stream's long-run expected processor share
+// at f_max: E[wcet] / E[inter-arrival].
+func (s SporadicSpec) MeanUtilization() float64 {
+	meanW := (s.WCETMin + s.WCETMax) / 2
+	meanGap := 1/s.Rate + s.MinSeparation
+	return meanW / meanGap
+}
+
+// GenerateSporadic draws the job stream released before horizon.
+func GenerateSporadic(spec SporadicSpec, horizon float64, r *rng.RNG) ([]*Job, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if horizon <= 0 || math.IsInf(horizon, 0) || math.IsNaN(horizon) {
+		return nil, fmt.Errorf("task: invalid horizon %v", horizon)
+	}
+	var jobs []*Job
+	t := r.Exponential(spec.Rate)
+	seq := 0
+	for t < horizon {
+		w := r.Uniform(spec.WCETMin, spec.WCETMax)
+		jobs = append(jobs, NewJob(spec.TaskID, seq, t, spec.Deadline, w))
+		seq++
+		t += spec.MinSeparation + r.Exponential(spec.Rate)
+	}
+	return jobs, nil
+}
+
+// MergeJobStreams combines job lists into one arrival-ordered stream.
+func MergeJobStreams(streams ...[]*Job) []*Job {
+	var all []*Job
+	for _, s := range streams {
+		all = append(all, s...)
+	}
+	sortJobsByArrival(all)
+	return all
+}

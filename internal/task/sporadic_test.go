@@ -1,0 +1,115 @@
+package task
+
+import (
+	"math"
+	"testing"
+
+	"github.com/eadvfs/eadvfs/internal/rng"
+)
+
+func sporadicSpec() SporadicSpec {
+	return SporadicSpec{
+		TaskID: 7, Rate: 0.1, MinSeparation: 5,
+		Deadline: 20, WCETMin: 1, WCETMax: 4,
+	}
+}
+
+func TestSporadicValidate(t *testing.T) {
+	if err := sporadicSpec().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*SporadicSpec){
+		func(s *SporadicSpec) { s.Rate = 0 },
+		func(s *SporadicSpec) { s.Rate = math.Inf(1) },
+		func(s *SporadicSpec) { s.MinSeparation = -1 },
+		func(s *SporadicSpec) { s.Deadline = 0 },
+		func(s *SporadicSpec) { s.WCETMin = -1 },
+		func(s *SporadicSpec) { s.WCETMax = 0.5 }, // < min
+		func(s *SporadicSpec) { s.WCETMax = 25 },  // > deadline
+	}
+	for i, mutate := range bad {
+		s := sporadicSpec()
+		mutate(&s)
+		if s.Validate() == nil {
+			t.Fatalf("bad spec %d accepted", i)
+		}
+	}
+}
+
+func TestGenerateSporadicStream(t *testing.T) {
+	spec := sporadicSpec()
+	jobs, err := GenerateSporadic(spec, 10000, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) < 100 {
+		t.Fatalf("only %d jobs over 10000 units at mean gap 15", len(jobs))
+	}
+	prev := -math.Inf(1)
+	for i, j := range jobs {
+		if j.TaskID != 7 || j.Seq != i {
+			t.Fatalf("job %d identity wrong: %d/%d", i, j.TaskID, j.Seq)
+		}
+		if j.Arrival-prev < spec.MinSeparation-1e-9 && prev >= 0 {
+			t.Fatalf("separation violated at job %d: gap %v", i, j.Arrival-prev)
+		}
+		if j.WCET < 1 || j.WCET > 4 {
+			t.Fatalf("wcet %v outside draw range", j.WCET)
+		}
+		if j.Abs != j.Arrival+20 {
+			t.Fatalf("deadline wrong at job %d", i)
+		}
+		if j.Arrival >= 10000 {
+			t.Fatalf("job released after horizon: %v", j.Arrival)
+		}
+		prev = j.Arrival
+	}
+	// Mean inter-arrival ≈ 1/λ + sep = 15.
+	meanGap := jobs[len(jobs)-1].Arrival / float64(len(jobs)-1)
+	if math.Abs(meanGap-15) > 2 {
+		t.Fatalf("mean gap %v, want ~15", meanGap)
+	}
+}
+
+func TestGenerateSporadicDeterministic(t *testing.T) {
+	a, _ := GenerateSporadic(sporadicSpec(), 1000, rng.New(9))
+	b, _ := GenerateSporadic(sporadicSpec(), 1000, rng.New(9))
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i].Arrival != b[i].Arrival || a[i].WCET != b[i].WCET {
+			t.Fatalf("streams differ at %d", i)
+		}
+	}
+}
+
+func TestSporadicMeanUtilization(t *testing.T) {
+	spec := sporadicSpec()
+	// E[w] = 2.5, E[gap] = 15 → U ≈ 0.1667.
+	if got := spec.MeanUtilization(); math.Abs(got-2.5/15) > 1e-12 {
+		t.Fatalf("mean utilization = %v", got)
+	}
+}
+
+func TestGenerateSporadicBadHorizon(t *testing.T) {
+	if _, err := GenerateSporadic(sporadicSpec(), 0, rng.New(1)); err == nil {
+		t.Fatal("zero horizon accepted")
+	}
+}
+
+func TestMergeJobStreams(t *testing.T) {
+	a, _ := GenerateSporadic(sporadicSpec(), 500, rng.New(1))
+	spec2 := sporadicSpec()
+	spec2.TaskID = 8
+	b, _ := GenerateSporadic(spec2, 500, rng.New(2))
+	merged := MergeJobStreams(a, b)
+	if len(merged) != len(a)+len(b) {
+		t.Fatalf("merged %d, want %d", len(merged), len(a)+len(b))
+	}
+	for i := 1; i < len(merged); i++ {
+		if merged[i].Arrival < merged[i-1].Arrival {
+			t.Fatalf("merge not ordered at %d", i)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+// Package trace records a simulation schedule — the run/idle/stall
+// segments and the point events — and renders it as an ASCII Gantt chart
+// or CSV. It implements sim.Tracer and exists to make small scenarios (the
+// paper's Figures 1 and 3) inspectable end to end.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"github.com/eadvfs/eadvfs/internal/sim"
+	"github.com/eadvfs/eadvfs/internal/task"
+)
+
+// Segment is a maximal interval of constant processor activity.
+type Segment struct {
+	Start, End float64
+	Mode       sim.Mode
+	TaskID     int // -1 when no job is attached
+	JobSeq     int
+	Level      int
+}
+
+// Event is a point occurrence: arrival, completion, miss, stall.
+type Event struct {
+	Time   float64
+	Kind   string
+	TaskID int
+	JobSeq int
+}
+
+// Recorder accumulates segments and events during a run.
+type Recorder struct {
+	Segments []Segment
+	Events   []Event
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// OnSegment implements sim.Tracer.
+func (r *Recorder) OnSegment(start, end float64, mode sim.Mode, j *task.Job, level int) {
+	id, seq := -1, -1
+	if j != nil {
+		id, seq = j.TaskID, j.Seq
+	}
+	// Coalesce with the previous segment when activity is unchanged.
+	if n := len(r.Segments); n > 0 {
+		last := &r.Segments[n-1]
+		if last.Mode == mode && last.TaskID == id && last.JobSeq == seq &&
+			(mode != sim.ModeRun || last.Level == level) &&
+			math.Abs(last.End-start) < 1e-9 {
+			last.End = end
+			return
+		}
+	}
+	r.Segments = append(r.Segments, Segment{Start: start, End: end, Mode: mode, TaskID: id, JobSeq: seq, Level: level})
+}
+
+// OnEvent implements sim.Tracer.
+func (r *Recorder) OnEvent(t float64, kind string, j *task.Job) {
+	id, seq := -1, -1
+	if j != nil {
+		id, seq = j.TaskID, j.Seq
+	}
+	r.Events = append(r.Events, Event{Time: t, Kind: kind, TaskID: id, JobSeq: seq})
+}
+
+// Gantt renders the schedule as one row per task plus an activity row,
+// width columns spanning [0, horizon]. Run segments print the operating
+// point digit; stalls print '!'; idle is blank.
+func (r *Recorder) Gantt(horizon float64, width int) string {
+	if horizon <= 0 || width < 10 {
+		panic(fmt.Sprintf("trace: bad gantt spec horizon=%v width=%d", horizon, width))
+	}
+	ids := map[int]bool{}
+	for _, s := range r.Segments {
+		if s.TaskID >= 0 {
+			ids[s.TaskID] = true
+		}
+	}
+	var ordered []int
+	for id := range ids {
+		ordered = append(ordered, id)
+	}
+	// insertion sort — tiny n, keeps imports lean
+	for i := 1; i < len(ordered); i++ {
+		for j := i; j > 0 && ordered[j] < ordered[j-1]; j-- {
+			ordered[j], ordered[j-1] = ordered[j-1], ordered[j]
+		}
+	}
+
+	col := func(t float64) int {
+		c := int(float64(width) * t / horizon)
+		if c >= width {
+			c = width - 1
+		}
+		if c < 0 {
+			c = 0
+		}
+		return c
+	}
+
+	var b strings.Builder
+	for _, id := range ordered {
+		row := []byte(strings.Repeat(".", width))
+		for _, s := range r.Segments {
+			if s.TaskID != id {
+				continue
+			}
+			mark := byte('!')
+			if s.Mode == sim.ModeRun {
+				mark = byte('0' + s.Level%10)
+			}
+			for c := col(s.Start); c <= col(s.End-1e-12) && c < width; c++ {
+				row[c] = mark
+			}
+		}
+		// Overlay arrivals (^), completions (v) and misses (X).
+		for _, e := range r.Events {
+			if e.TaskID != id {
+				continue
+			}
+			c := col(e.Time)
+			switch e.Kind {
+			case "arrival":
+				if row[c] == '.' {
+					row[c] = '^'
+				}
+			case "completion":
+				row[c] = 'v'
+			case "miss":
+				row[c] = 'X'
+			}
+		}
+		fmt.Fprintf(&b, "task %-3d |%s|\n", id, string(row))
+	}
+	fmt.Fprintf(&b, "         +%s+\n", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "          0%*s\n", width-1, fmt.Sprintf("%g", horizon))
+	return b.String()
+}
+
+// CSV renders the segments as start,end,mode,task,job,level rows.
+func (r *Recorder) CSV() string {
+	var b strings.Builder
+	b.WriteString("start,end,mode,task,job,level\n")
+	for _, s := range r.Segments {
+		fmt.Fprintf(&b, "%g,%g,%s,%d,%d,%d\n", s.Start, s.End, s.Mode, s.TaskID, s.JobSeq, s.Level)
+	}
+	return b.String()
+}
+
+// BusyTime returns the total run time recorded, a cross-check against
+// sim.Result.BusyTime.
+func (r *Recorder) BusyTime() float64 {
+	total := 0.0
+	for _, s := range r.Segments {
+		if s.Mode == sim.ModeRun {
+			total += s.End - s.Start
+		}
+	}
+	return total
+}
+
+// MissCount returns the number of miss events recorded.
+func (r *Recorder) MissCount() int {
+	n := 0
+	for _, e := range r.Events {
+		if e.Kind == "miss" {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,153 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/eadvfs/eadvfs/internal/cpu"
+	"github.com/eadvfs/eadvfs/internal/energy"
+	"github.com/eadvfs/eadvfs/internal/sched"
+	"github.com/eadvfs/eadvfs/internal/sim"
+	"github.com/eadvfs/eadvfs/internal/storage"
+	"github.com/eadvfs/eadvfs/internal/task"
+)
+
+func runTraced(t *testing.T, policy sched.Policy) (*Recorder, *sim.Result) {
+	t.Helper()
+	rec := NewRecorder()
+	src := energy.NewConstant(0.5)
+	cfg := &sim.Config{
+		Horizon: 25,
+		Tasks: []task.Task{
+			{ID: 1, Period: 1e9, Deadline: 16, WCET: 4, Offset: 0},
+			{ID: 2, Period: 1e9, Deadline: 16, WCET: 1.5, Offset: 5},
+		},
+		Source:    src,
+		Predictor: energy.NewOracle(src),
+		Store:     storage.New(1e6, 24),
+		CPU:       cpu.TwoSpeed(8),
+		Policy:    policy,
+		Tracer:    rec,
+	}
+	res, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec, res
+}
+
+func TestRecorderCoalesces(t *testing.T) {
+	rec, res := runTraced(t, sched.LSA{})
+	// LSA: idle then one full-speed run per task — the run segments for a
+	// task must be contiguous single segments, not per-unit fragments.
+	runs := 0
+	for _, s := range rec.Segments {
+		if s.Mode == sim.ModeRun {
+			runs++
+			if s.End <= s.Start {
+				t.Fatalf("degenerate segment %+v", s)
+			}
+		}
+	}
+	if runs > 4 {
+		t.Fatalf("run segments not coalesced: %d", runs)
+	}
+	if math.Abs(rec.BusyTime()-res.BusyTime) > 1e-6 {
+		t.Fatalf("trace busy %v != result busy %v", rec.BusyTime(), res.BusyTime)
+	}
+}
+
+func TestRecorderEvents(t *testing.T) {
+	rec, res := runTraced(t, sched.LSA{})
+	arrivals, completions := 0, 0
+	for _, e := range rec.Events {
+		switch e.Kind {
+		case "arrival":
+			arrivals++
+		case "completion":
+			completions++
+		}
+	}
+	if arrivals != 2 {
+		t.Fatalf("arrivals = %d", arrivals)
+	}
+	if completions != res.Miss.Finished {
+		t.Fatalf("completions %d != finished %d", completions, res.Miss.Finished)
+	}
+	if rec.MissCount() != res.Miss.Missed {
+		t.Fatalf("trace misses %d != result %d", rec.MissCount(), res.Miss.Missed)
+	}
+}
+
+func TestGanttRendering(t *testing.T) {
+	rec, _ := runTraced(t, sched.LSA{})
+	g := rec.Gantt(25, 50)
+	if !strings.Contains(g, "task 1") || !strings.Contains(g, "task 2") {
+		t.Fatalf("gantt missing task rows:\n%s", g)
+	}
+	// τ2 misses under LSA: an X must appear in its row.
+	var tau2row string
+	for _, line := range strings.Split(g, "\n") {
+		if strings.HasPrefix(line, "task 2") {
+			tau2row = line
+		}
+	}
+	if !strings.Contains(tau2row, "X") {
+		t.Fatalf("missed job not marked:\n%s", g)
+	}
+	// τ1 runs at the max level (digit '1' for the two-speed CPU).
+	if !strings.Contains(g, "1") {
+		t.Fatalf("run level digits missing:\n%s", g)
+	}
+}
+
+func TestGanttValidation(t *testing.T) {
+	rec := NewRecorder()
+	for i, f := range []func(){
+		func() { rec.Gantt(0, 50) },
+		func() { rec.Gantt(10, 5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	rec, _ := runTraced(t, sched.LSA{})
+	csv := rec.CSV()
+	if !strings.HasPrefix(csv, "start,end,mode,task,job,level\n") {
+		t.Fatalf("csv header wrong: %q", csv[:40])
+	}
+	if strings.Count(csv, "\n") < 3 {
+		t.Fatalf("csv has too few rows:\n%s", csv)
+	}
+	if !strings.Contains(csv, "run") {
+		t.Fatal("csv missing run segments")
+	}
+}
+
+func TestSegmentsCoverHorizonContiguously(t *testing.T) {
+	rec, _ := runTraced(t, sched.LSA{})
+	// Segments must tile [0, horizon] without gaps or overlaps.
+	prevEnd := 0.0
+	for i, s := range rec.Segments {
+		if math.Abs(s.Start-prevEnd) > 1e-9 {
+			t.Fatalf("segment %d starts at %v, previous ended %v", i, s.Start, prevEnd)
+		}
+		prevEnd = s.End
+	}
+	if math.Abs(prevEnd-25) > 1e-9 {
+		t.Fatalf("segments end at %v, horizon 25", prevEnd)
+	}
+}
+
+// edfPolicy avoids an import cycle-free dependency on sched in multiple
+// test files.
+func edfPolicy() sched.Policy { return sched.EDF{} }
