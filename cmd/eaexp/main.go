@@ -7,10 +7,16 @@
 //	eaexp -exp fig9              miss rate vs capacity, U = 0.8 (Figure 9)
 //	eaexp -exp table1            minimum-capacity ratios (Table 1)
 //	eaexp -exp all               everything
+//	eaexp -exp robustness        miss rate vs fault intensity (beyond the paper)
 //
 // Each experiment prints an ASCII chart or table and, with -csv DIR,
 // writes the raw series as CSV. -replications trades fidelity for time
 // (the paper used 5000 task sets per point).
+//
+// The robustness sweep subjects EDF, LSA and EA-DVFS to the canonical
+// mixed-fault model (harvester dropouts, storage fade and leakage spikes,
+// stuck DVFS, predictor blackouts, WCET overruns) at each -intensities
+// step; -fault-seed pins the fault schedule, -capacity the storage size.
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 
 	"github.com/eadvfs/eadvfs/internal/experiment"
@@ -32,8 +39,15 @@ func main() {
 		seed  = flag.Uint64("seed", 1, "master seed")
 		pmax  = flag.Float64("pmax", 10, "processor maximum power")
 		pred  = flag.String("predictor", "ewma", "harvest predictor")
+		alpha = flag.Float64("alpha", 0, "predictor smoothing factor override in (0, 1]; 0 keeps the default")
 		csv   = flag.String("csv", "", "directory for CSV output (omit to skip)")
 		width = flag.Int("width", 72, "chart width in columns")
+
+		// -exp robustness parameters.
+		intensities = flag.String("intensities", "0,0.25,0.5,0.75,1", "comma-separated fault intensities in [0, 1]")
+		faultSeed   = flag.Uint64("fault-seed", 1, "master fault-schedule seed")
+		capacity    = flag.Float64("capacity", 1000, "storage capacity of the robustness sweep")
+		policies    = flag.String("policies", "edf,lsa,ea-dvfs", "comma-separated policies of the robustness sweep")
 	)
 	flag.Parse()
 
@@ -41,6 +55,7 @@ func main() {
 	spec.Seed = *seed
 	spec.PMax = *pmax
 	spec.Predictor = *pred
+	spec.PredictorAlpha = *alpha
 	if *reps > 0 {
 		spec.Replications = *reps
 	}
@@ -144,6 +159,38 @@ func main() {
 		}
 		return nil
 	})
+	runOnly("robustness", func() error {
+		xs, err := parseFloatList(*intensities)
+		if err != nil {
+			return err
+		}
+		rs := experiment.RobustnessSpec{
+			Base:        spec,
+			Policies:    strings.Split(*policies, ","),
+			Intensities: xs,
+			FaultSeed:   *faultSeed,
+			Capacity:    *capacity,
+		}
+		res, err := experiment.RobustnessSweep(rs)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Summary())
+		var b strings.Builder
+		b.WriteString("intensity")
+		for _, p := range rs.Policies {
+			fmt.Fprintf(&b, ",%s", p)
+		}
+		b.WriteByte('\n')
+		for i, x := range res.Intensities {
+			fmt.Fprintf(&b, "%g", x)
+			for _, p := range rs.Policies {
+				fmt.Fprintf(&b, ",%g", res.MissRates[p][i])
+			}
+			b.WriteByte('\n')
+		}
+		return writeCSV(*csv, "robustness.csv", b.String())
+	})
 	runOnly("sens-predictors", func() error {
 		res, err := experiment.PredictorSweep(spec,
 			[]string{"oracle", "ewma", "slot-ewma", "wcma", "moving-average", "last-value", "zero"},
@@ -157,11 +204,23 @@ func main() {
 	switch *exp {
 	case "all", "fig5", "fig6", "fig7", "fig8", "fig9", "table1",
 		"sens-levels", "sens-pmax", "sens-tasks", "sens-predictors",
-		"overhead", "convergence":
+		"overhead", "convergence", "robustness":
 	default:
 		fmt.Fprintf(os.Stderr, "eaexp: unknown experiment %q\n", *exp)
 		os.Exit(2)
 	}
+}
+
+func parseFloatList(s string) ([]float64, error) {
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, fmt.Errorf("eaexp: bad float %q: %w", f, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 func printSweep(res *experiment.SensitivityResult, csvDir string) error {

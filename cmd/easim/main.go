@@ -5,12 +5,13 @@
 //
 //	easim [-policy ea-dvfs] [-u 0.4] [-capacity 1000] [-horizon 10000]
 //	      [-tasks 5] [-seed 1] [-predictor ewma] [-pmax 10] [-energy]
-//	      [-analyze] [-json]
+//	      [-fault-intensity 0] [-fault-seed 1] [-check] [-analyze] [-json]
 //
 // Example:
 //
 //	easim -policy lsa -u 0.4 -capacity 300
 //	easim -policy ea-dvfs -u 0.4 -capacity 300 -analyze
+//	easim -policy ea-dvfs -capacity 300 -fault-intensity 0.5 -check
 package main
 
 import (
@@ -38,19 +39,25 @@ func main() {
 		energyF   = flag.Bool("energy", false, "print the stored-energy trace statistics")
 		analyze   = flag.Bool("analyze", false, "print the analytic feasibility report for the workload")
 		jsonF     = flag.Bool("json", false, "emit the result as JSON")
+		faultX    = flag.Float64("fault-intensity", 0, "mixed-fault model intensity in (0, 1]; 0 disables")
+		faultSeed = flag.Uint64("fault-seed", 1, "fault schedule seed")
+		check     = flag.Bool("check", false, "arm the runtime invariant checker")
 	)
 	flag.Parse()
 
 	res, err := eadvfs.Run(eadvfs.Config{
-		Horizon:      *horizon,
-		Policy:       *policy,
-		Predictor:    *predictor,
-		Capacity:     *capacity,
-		PMax:         *pmax,
-		NumTasks:     *numTasks,
-		Utilization:  *u,
-		Seed:         *seed,
-		RecordEnergy: *energyF,
+		Horizon:         *horizon,
+		Policy:          *policy,
+		Predictor:       *predictor,
+		Capacity:        *capacity,
+		PMax:            *pmax,
+		NumTasks:        *numTasks,
+		Utilization:     *u,
+		Seed:            *seed,
+		RecordEnergy:    *energyF,
+		FaultIntensity:  *faultX,
+		FaultSeed:       *faultSeed,
+		CheckInvariants: *check,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "easim:", err)
@@ -84,6 +91,14 @@ func main() {
 		fmt.Printf("%.1f", lt)
 	}
 	fmt.Println()
+
+	if d := res.Degradation; d != (eadvfs.Degradation{}) {
+		fmt.Printf("degradation       dropout %.0f, spike %.0f (%.1f lost), stuck %.0f (%d clamps), blackout %.0f (%d stale)\n",
+			d.SourceFaultTime, d.LeakSpikeTime, d.LeakSpikeEnergy,
+			d.DVFSStuckTime, d.DVFSClamps, d.BlackoutTime, d.StaleForecasts)
+		fmt.Printf("                  fade %.1f lost, %d overruns (+%.1f work)\n",
+			d.FadeEnergy, d.Overruns, d.OverrunWork)
+	}
 
 	if *energyF && len(res.StoredEnergy) > 0 {
 		minV, maxV, sum := res.StoredEnergy[0], res.StoredEnergy[0], 0.0

@@ -24,6 +24,7 @@ import (
 	"github.com/eadvfs/eadvfs/internal/cpu"
 	"github.com/eadvfs/eadvfs/internal/energy"
 	"github.com/eadvfs/eadvfs/internal/experiment"
+	"github.com/eadvfs/eadvfs/internal/fault"
 	"github.com/eadvfs/eadvfs/internal/rng"
 	"github.com/eadvfs/eadvfs/internal/sim"
 	"github.com/eadvfs/eadvfs/internal/storage"
@@ -88,6 +89,39 @@ type Config struct {
 	// RecordEnergy samples the stored energy once per time unit into
 	// Result.StoredEnergy.
 	RecordEnergy bool
+
+	// FaultIntensity, in (0, 1], enables the canonical mixed-fault model
+	// at that intensity: harvester dropouts and brown-outs, storage
+	// capacity fade and leakage spikes, stuck DVFS transitions, predictor
+	// blackouts and job WCET overruns, all scaling together. 0 (the
+	// default) injects nothing. Faulted runs degrade gracefully and
+	// report what happened in Result.Degradation.
+	FaultIntensity float64
+
+	// FaultSeed pins the fault schedule (default 1). Policies compared
+	// under the same FaultSeed experience the identical faults.
+	FaultSeed uint64
+
+	// CheckInvariants arms the engine's runtime self-checker (store
+	// bounds, energy conservation, clock monotonicity). A violated run
+	// returns a structured error alongside the result.
+	CheckInvariants bool
+}
+
+// Degradation summarizes the fault-induced degradation of a run: how long
+// each fault class was active and how much energy or work it cost. All
+// zero on fault-free runs.
+type Degradation struct {
+	SourceFaultTime float64 // time units the harvester was dropped out
+	LeakSpikeTime   float64 // time units a leakage spike was active
+	DVFSStuckTime   float64 // time units DVFS transitions were stuck
+	BlackoutTime    float64 // time units predictor observations were lost
+	FadeEnergy      float64 // energy shed to capacity fade
+	LeakSpikeEnergy float64 // energy lost to leakage spikes
+	OverrunWork     float64 // work executed beyond declared WCETs
+	DVFSClamps      int     // operating-point changes refused
+	StaleForecasts  int     // predictor observations dropped
+	Overruns        int     // jobs that overran their WCET
 }
 
 // Result summarizes a run.
@@ -116,6 +150,10 @@ type Result struct {
 	// LevelTime is the execution time spent at each DVFS operating
 	// point, slowest first.
 	LevelTime []float64
+
+	// Degradation reports fault-induced degradation; all zero unless
+	// Config.FaultIntensity was set.
+	Degradation Degradation
 }
 
 func (c *Config) withDefaults() Config {
@@ -155,17 +193,17 @@ func Run(userCfg Config) (*Result, error) {
 	case cfg.ConstantHarvest != nil && len(cfg.HarvestTrace) > 0:
 		return nil, errors.New("eadvfs: ConstantHarvest and HarvestTrace are mutually exclusive")
 	case cfg.ConstantHarvest != nil:
-		if *cfg.ConstantHarvest < 0 {
-			return nil, fmt.Errorf("eadvfs: negative constant harvest %v", *cfg.ConstantHarvest)
+		c, err := energy.NewConstantChecked(*cfg.ConstantHarvest)
+		if err != nil {
+			return nil, fmt.Errorf("eadvfs: %w", err)
 		}
-		src = energy.NewConstant(*cfg.ConstantHarvest)
+		src = c
 	case len(cfg.HarvestTrace) > 0:
-		for _, v := range cfg.HarvestTrace {
-			if v < 0 {
-				return nil, fmt.Errorf("eadvfs: negative trace sample %v", v)
-			}
+		tr, err := energy.NewTraceChecked("user", cfg.HarvestTrace)
+		if err != nil {
+			return nil, fmt.Errorf("eadvfs: %w", err)
 		}
-		src = energy.NewTrace("user", cfg.HarvestTrace)
+		src = tr
 	default:
 		src = energy.NewSolarModel(cfg.Seed)
 	}
@@ -195,14 +233,26 @@ func Run(userCfg Config) (*Result, error) {
 	}
 
 	simCfg := &sim.Config{
-		Horizon:      cfg.Horizon,
-		Tasks:        tasks,
-		Source:       src,
-		Predictor:    predF(src),
-		Store:        storage.New(cfg.Capacity, initial),
-		CPU:          proc,
-		Policy:       pf(),
-		RecordEnergy: cfg.RecordEnergy,
+		Horizon:         cfg.Horizon,
+		Tasks:           tasks,
+		Source:          src,
+		Predictor:       predF(src),
+		Store:           storage.New(cfg.Capacity, initial),
+		CPU:             proc,
+		Policy:          pf(),
+		RecordEnergy:    cfg.RecordEnergy,
+		CheckInvariants: cfg.CheckInvariants,
+	}
+	if cfg.FaultIntensity != 0 {
+		if cfg.FaultIntensity < 0 || cfg.FaultIntensity > 1 {
+			return nil, fmt.Errorf("eadvfs: fault intensity %v outside [0, 1]", cfg.FaultIntensity)
+		}
+		fseed := cfg.FaultSeed
+		if fseed == 0 {
+			fseed = 1
+		}
+		fspec := fault.AtIntensity(fseed, cfg.FaultIntensity)
+		simCfg.Faults = &fspec
 	}
 	res, err := sim.Run(simCfg)
 	if err != nil {
@@ -223,6 +273,18 @@ func Run(userCfg Config) (*Result, error) {
 		IdleTime:        res.IdleTime,
 		StallTime:       res.StallTime,
 		LevelTime:       res.LevelTime,
+		Degradation: Degradation{
+			SourceFaultTime: res.Degradation.SourceFaultTime,
+			LeakSpikeTime:   res.Degradation.LeakSpikeTime,
+			DVFSStuckTime:   res.Degradation.DVFSStuckTime,
+			BlackoutTime:    res.Degradation.BlackoutTime,
+			FadeEnergy:      res.Degradation.FadeEnergy,
+			LeakSpikeEnergy: res.Degradation.LeakSpikeEnergy,
+			OverrunWork:     res.Degradation.OverrunWork,
+			DVFSClamps:      res.Degradation.DVFSClamps,
+			StaleForecasts:  res.Degradation.StaleForecasts,
+			Overruns:        res.Degradation.Overruns,
+		},
 	}
 	if res.EnergySeries != nil {
 		out.StoredEnergy = res.EnergySeries.Values

@@ -237,6 +237,20 @@ func (c *Processor) Power(n int) float64 {
 // MaxLevel returns the index of the fastest point (N-1).
 func (c *Processor) MaxLevel() int { return len(c.points) - 1 }
 
+// ClampLevel returns n clamped into the valid operating-point range
+// [0, N). Unlike the accessors, it never panics: fault injection and
+// other adversarial layers use it to keep a perturbed level selection
+// inside the hardware's table.
+func (c *Processor) ClampLevel(n int) int {
+	if n < 0 {
+		return 0
+	}
+	if n >= len(c.points) {
+		return len(c.points) - 1
+	}
+	return n
+}
+
 // MaxPower returns P_max.
 func (c *Processor) MaxPower() float64 { return c.points[len(c.points)-1].Power }
 

@@ -54,12 +54,22 @@ type EWMA struct {
 	seen  bool
 }
 
-// NewEWMA returns an EWMA predictor. Alpha outside (0, 1] panics.
+// NewEWMA returns an EWMA predictor. Alpha outside (0, 1] panics;
+// NewEWMAChecked returns an error instead, for alphas taken from flags.
 func NewEWMA(alpha float64) *EWMA {
-	if alpha <= 0 || alpha > 1 {
-		panic(fmt.Sprintf("energy: EWMA alpha %v outside (0,1]", alpha))
+	e, err := NewEWMAChecked(alpha)
+	if err != nil {
+		panic(err.Error())
 	}
-	return &EWMA{Alpha: alpha}
+	return e
+}
+
+// NewEWMAChecked is the error-returning variant of NewEWMA.
+func NewEWMAChecked(alpha float64) (*EWMA, error) {
+	if alpha <= 0 || alpha > 1 || math.IsNaN(alpha) {
+		return nil, fmt.Errorf("energy: EWMA alpha %v outside (0,1]", alpha)
+	}
+	return &EWMA{Alpha: alpha}, nil
 }
 
 func (e *EWMA) Observe(t, p float64) {
@@ -91,21 +101,31 @@ type SlotEWMA struct {
 }
 
 // NewSlotEWMA returns a profile predictor with the given source period,
-// slot count and smoothing factor.
+// slot count and smoothing factor, panicking on invalid input;
+// NewSlotEWMAChecked returns an error instead.
 func NewSlotEWMA(period float64, slots int, alpha float64) *SlotEWMA {
+	s, err := NewSlotEWMAChecked(period, slots, alpha)
+	if err != nil {
+		panic(err.Error())
+	}
+	return s
+}
+
+// NewSlotEWMAChecked is the error-returning variant of NewSlotEWMA.
+func NewSlotEWMAChecked(period float64, slots int, alpha float64) (*SlotEWMA, error) {
 	switch {
-	case period <= 0:
-		panic("energy: non-positive slot period")
+	case period <= 0 || math.IsNaN(period) || math.IsInf(period, 0):
+		return nil, fmt.Errorf("energy: invalid slot period %v", period)
 	case slots <= 0:
-		panic("energy: non-positive slot count")
-	case alpha <= 0 || alpha > 1:
-		panic("energy: slot alpha outside (0,1]")
+		return nil, fmt.Errorf("energy: non-positive slot count %d", slots)
+	case alpha <= 0 || alpha > 1 || math.IsNaN(alpha):
+		return nil, fmt.Errorf("energy: slot alpha %v outside (0,1]", alpha)
 	}
 	avg := make([]float64, slots)
 	for i := range avg {
 		avg[i] = math.NaN() // unseen
 	}
-	return &SlotEWMA{Period: period, Slots: slots, Alpha: alpha, avg: avg}
+	return &SlotEWMA{Period: period, Slots: slots, Alpha: alpha, avg: avg}, nil
 }
 
 func (s *SlotEWMA) slotOf(t float64) int {
@@ -177,12 +197,24 @@ type MovingAverage struct {
 	sum    float64
 }
 
-// NewMovingAverage returns a moving-average predictor over the given window.
+// NewMovingAverage returns a moving-average predictor over the given
+// window, panicking on invalid input; NewMovingAverageChecked returns an
+// error instead.
 func NewMovingAverage(window int) *MovingAverage {
-	if window <= 0 {
-		panic("energy: non-positive moving-average window")
+	m, err := NewMovingAverageChecked(window)
+	if err != nil {
+		panic(err.Error())
 	}
-	return &MovingAverage{Window: window, buf: make([]float64, window)}
+	return m
+}
+
+// NewMovingAverageChecked is the error-returning variant of
+// NewMovingAverage.
+func NewMovingAverageChecked(window int) (*MovingAverage, error) {
+	if window <= 0 {
+		return nil, fmt.Errorf("energy: non-positive moving-average window %d", window)
+	}
+	return &MovingAverage{Window: window, buf: make([]float64, window)}, nil
 }
 
 func (m *MovingAverage) Observe(t, p float64) {

@@ -80,11 +80,23 @@ func NewSolarModel(seed uint64) *SolarModel {
 }
 
 // NewSolarModelAmp returns an eq. (13) source with a custom amplitude.
+// It panics on invalid input; NewSolarModelAmpChecked returns an error
+// instead, for amplitudes coming from flags or config files.
 func NewSolarModelAmp(seed uint64, amplitude float64) *SolarModel {
-	if amplitude < 0 {
-		panic("energy: negative solar amplitude")
+	s, err := NewSolarModelAmpChecked(seed, amplitude)
+	if err != nil {
+		panic(err.Error())
 	}
-	return &SolarModel{Amplitude: amplitude, r: rng.New(seed)}
+	return s
+}
+
+// NewSolarModelAmpChecked is the error-returning variant of
+// NewSolarModelAmp.
+func NewSolarModelAmpChecked(seed uint64, amplitude float64) (*SolarModel, error) {
+	if amplitude < 0 || math.IsNaN(amplitude) || math.IsInf(amplitude, 0) {
+		return nil, fmt.Errorf("energy: invalid solar amplitude %v", amplitude)
+	}
+	return &SolarModel{Amplitude: amplitude, r: rng.New(seed)}, nil
 }
 
 // Envelope returns the deterministic cos² factor of eq. (13) at time t.
@@ -124,12 +136,22 @@ type Constant struct {
 	P float64
 }
 
-// NewConstant returns a constant source. Negative power panics.
+// NewConstant returns a constant source. Negative power panics;
+// NewConstantChecked returns an error instead.
 func NewConstant(p float64) Constant {
-	if p < 0 {
-		panic("energy: negative constant power")
+	c, err := NewConstantChecked(p)
+	if err != nil {
+		panic(err.Error())
 	}
-	return Constant{P: p}
+	return c
+}
+
+// NewConstantChecked is the error-returning variant of NewConstant.
+func NewConstantChecked(p float64) (Constant, error) {
+	if p < 0 || math.IsNaN(p) || math.IsInf(p, 0) {
+		return Constant{}, fmt.Errorf("energy: invalid constant power %v", p)
+	}
+	return Constant{P: p}, nil
 }
 
 func (c Constant) PowerAt(t float64) float64 { return c.P }
@@ -145,17 +167,27 @@ type TwoMode struct {
 	DayLen     float64
 }
 
-// NewTwoMode validates and returns a day/night source.
+// NewTwoMode validates and returns a day/night source, panicking on
+// invalid input; NewTwoModeChecked returns an error instead.
 func NewTwoMode(day, night, period, dayLen float64) TwoMode {
-	switch {
-	case day < 0 || night < 0:
-		panic("energy: negative two-mode power")
-	case period <= 0:
-		panic("energy: non-positive two-mode period")
-	case dayLen < 0 || dayLen > period:
-		panic("energy: day length outside [0, period]")
+	m, err := NewTwoModeChecked(day, night, period, dayLen)
+	if err != nil {
+		panic(err.Error())
 	}
-	return TwoMode{DayPower: day, NightPower: night, Period: period, DayLen: dayLen}
+	return m
+}
+
+// NewTwoModeChecked is the error-returning variant of NewTwoMode.
+func NewTwoModeChecked(day, night, period, dayLen float64) (TwoMode, error) {
+	switch {
+	case day < 0 || night < 0 || math.IsNaN(day) || math.IsNaN(night):
+		return TwoMode{}, fmt.Errorf("energy: invalid two-mode powers day=%v night=%v", day, night)
+	case period <= 0 || math.IsNaN(period) || math.IsInf(period, 0):
+		return TwoMode{}, fmt.Errorf("energy: invalid two-mode period %v", period)
+	case dayLen < 0 || dayLen > period || math.IsNaN(dayLen):
+		return TwoMode{}, fmt.Errorf("energy: day length %v outside [0, %v]", dayLen, period)
+	}
+	return TwoMode{DayPower: day, NightPower: night, Period: period, DayLen: dayLen}, nil
 }
 
 func (m TwoMode) PowerAt(t float64) float64 {
@@ -180,17 +212,28 @@ type Trace struct {
 	name    string
 }
 
-// NewTrace validates and returns a trace source.
+// NewTrace validates and returns a trace source, panicking on invalid
+// input; NewTraceChecked returns an error instead (traces usually come
+// from files, so prefer the checked variant in CLI paths).
 func NewTrace(name string, samples []float64) *Trace {
+	tr, err := NewTraceChecked(name, samples)
+	if err != nil {
+		panic(err.Error())
+	}
+	return tr
+}
+
+// NewTraceChecked is the error-returning variant of NewTrace.
+func NewTraceChecked(name string, samples []float64) (*Trace, error) {
 	if len(samples) == 0 {
-		panic("energy: empty trace")
+		return nil, fmt.Errorf("energy: empty trace")
 	}
 	for i, s := range samples {
 		if s < 0 || math.IsNaN(s) || math.IsInf(s, 0) {
-			panic(fmt.Sprintf("energy: invalid trace sample %v at %d", s, i))
+			return nil, fmt.Errorf("energy: invalid trace sample %v at %d", s, i)
 		}
 	}
-	return &Trace{Samples: samples, name: name}
+	return &Trace{Samples: samples, name: name}, nil
 }
 
 func (tr *Trace) PowerAt(t float64) float64 {

@@ -100,6 +100,13 @@ type Spec struct {
 	Seed         uint64    // master seed
 	Predictor    string    // predictor name (see Predictor)
 
+	// PredictorAlpha overrides the smoothing factor of the "ewma" and
+	// "slot-ewma" predictors; 0 keeps each predictor's built-in default.
+	// Flag-sourced values are validated through the energy package's
+	// checked constructors, so a bad alpha is an error, not a panic
+	// mid-sweep.
+	PredictorAlpha float64
+
 	// PMax sets the processor's maximum power in the experiment's energy
 	// units (relative XScale powers are preserved). The paper leaves the
 	// absolute scale implicit; DefaultSpec calibrates it so the miss-rate
@@ -152,10 +159,44 @@ func (s Spec) Validate() error {
 			return fmt.Errorf("experiment: invalid capacity %v", c)
 		}
 	}
-	if _, err := Predictor(s.Predictor); err != nil {
+	if _, err := s.PredictorFor(s.Predictor); err != nil {
 		return err
 	}
 	return nil
+}
+
+// PredictorFor resolves a predictor name with the spec's smoothing factor
+// applied. With PredictorAlpha zero it is exactly Predictor; otherwise
+// the override must name a predictor that has a smoothing factor.
+func (s Spec) PredictorFor(name string) (PredictorFactory, error) {
+	if s.PredictorAlpha == 0 {
+		return Predictor(name)
+	}
+	alpha := s.PredictorAlpha
+	switch name {
+	case "", "ewma":
+		if _, err := energy.NewEWMAChecked(alpha); err != nil {
+			return nil, err
+		}
+		return func(energy.Source) energy.Predictor { return energy.NewEWMA(alpha) }, nil
+	case "slot-ewma":
+		if _, err := energy.NewSlotEWMAChecked(energy.EnvelopePeriod, 64, alpha); err != nil {
+			return nil, err
+		}
+		return func(energy.Source) energy.Predictor {
+			return energy.NewSlotEWMA(energy.EnvelopePeriod, 64, alpha)
+		}, nil
+	default:
+		return nil, fmt.Errorf("experiment: predictor %q has no smoothing factor to override", name)
+	}
+}
+
+// defaultEventBudget is the runaway watchdog for experiment runs: a
+// healthy run dispatches a handful of events per time unit, so three
+// orders of magnitude above that can only be a decision loop stuck at one
+// instant.
+func defaultEventBudget(horizon float64) uint64 {
+	return uint64((horizon + 10) * 1000)
 }
 
 // Replication is the deterministic per-replication material: the task set
@@ -190,7 +231,7 @@ func Replicate(s Spec, r int) (Replication, error) {
 // capacity under the given policy, with the spec's predictor. The store
 // starts full (§5.1).
 func RunOne(s Spec, rep Replication, capacity float64, pf PolicyFactory, record bool) (*sim.Result, error) {
-	predF, err := Predictor(s.Predictor)
+	predF, err := s.PredictorFor(s.Predictor)
 	if err != nil {
 		return nil, err
 	}
@@ -204,6 +245,7 @@ func RunOne(s Spec, rep Replication, capacity float64, pf PolicyFactory, record 
 		CPU:          s.Processor(),
 		Policy:       pf(),
 		RecordEnergy: record,
+		MaxEvents:    defaultEventBudget(s.Horizon),
 	}
 	return sim.Run(cfg)
 }

@@ -1,8 +1,12 @@
 package experiment
 
 import (
+	"errors"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 )
 
 // Parallelism is the number of worker goroutines experiment runners use
@@ -12,17 +16,64 @@ import (
 // deterministic order regardless of completion order.
 var Parallelism = runtime.GOMAXPROCS(0)
 
+// maxJobAttempts bounds how many times a job failing with a
+// TransientError is re-executed before its error sticks.
+const maxJobAttempts = 3
+
 // job is one unit of parallel work, identified by its slot in the output.
 type job struct {
 	slot int
 	run  func() error
 }
 
+// TransientError marks a job failure as retryable: runParallel re-executes
+// the job (up to maxJobAttempts total) before recording the error.
+// Simulations are deterministic, so genuine model errors are NOT
+// transient; this classifies environmental failures (e.g. a temp-file
+// write during CSV export) that a retry can clear.
+type TransientError struct{ Err error }
+
+// Error implements error.
+func (e *TransientError) Error() string { return "transient: " + e.Err.Error() }
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *TransientError) Unwrap() error { return e.Err }
+
+// PanicError is a worker panic converted into a slot-attributed error, so
+// one exploding replication surfaces as a diagnosable failure instead of
+// crashing (or, worse, hanging) the whole sweep.
+type PanicError struct {
+	Slot  int
+	Value any
+	Stack string
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("experiment: job %d panicked: %v", e.Slot, e.Value)
+}
+
 // runParallel executes jobs across min(Parallelism, len(jobs)) workers and
 // returns the first error (by slot order) if any failed. Each job writes
 // its result into caller-owned, slot-indexed storage, which keeps merging
 // deterministic.
+//
+// Robustness guarantees: a panicking job is recovered into a *PanicError
+// (the sweep never hangs on a dead worker), TransientError failures are
+// retried a bounded number of times, and after the first recorded error
+// the remaining queued jobs are cancelled at pickup — already-running jobs
+// finish, and their errors still participate in lowest-slot selection.
 func runParallel(jobs []job) error {
+	errs, _ := runParallelPartial(jobs, false)
+	return lowestSlotError(errs)
+}
+
+// runParallelPartial is the engine behind runParallel. With keepGoing set,
+// a failing job does not cancel the rest: every job runs, the per-slot
+// errors are returned, and the caller aggregates the surviving slots —
+// one bad replication no longer discards a whole sweep. It returns the
+// recorded errors by slot and the number of jobs skipped by cancellation.
+func runParallelPartial(jobs []job, keepGoing bool) (map[int]error, int) {
 	workers := Parallelism
 	if workers < 1 {
 		workers = 1
@@ -31,20 +82,37 @@ func runParallel(jobs []job) error {
 		workers = len(jobs)
 	}
 	var (
-		wg   sync.WaitGroup
-		mu   sync.Mutex
-		errs = make(map[int]error)
-		next int
+		mu        sync.Mutex
+		errs      = make(map[int]error)
+		cancelled atomic.Bool
+		skipped   int
 	)
-	if workers == 1 {
-		// Serial path: same all-jobs, lowest-slot-error semantics.
+	record := func(slot int, err error) {
+		mu.Lock()
+		errs[slot] = err
+		mu.Unlock()
+		if !keepGoing {
+			cancelled.Store(true)
+		}
+	}
+	if workers <= 1 {
+		// Serial path: same pickup-time cancellation semantics.
 		for _, j := range jobs {
-			if err := j.run(); err != nil {
-				errs[j.slot] = err
+			if cancelled.Load() {
+				skipped++
+				continue
+			}
+			if err := runJob(j); err != nil {
+				record(j.slot, err)
 			}
 		}
-		return lowestSlotError(errs)
+		return errs, skipped
 	}
+
+	var (
+		wg   sync.WaitGroup
+		next int
+	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -55,19 +123,48 @@ func runParallel(jobs []job) error {
 					mu.Unlock()
 					return
 				}
+				if cancelled.Load() {
+					skipped += len(jobs) - next
+					next = len(jobs)
+					mu.Unlock()
+					return
+				}
 				j := jobs[next]
 				next++
 				mu.Unlock()
-				if err := j.run(); err != nil {
-					mu.Lock()
-					errs[j.slot] = err
-					mu.Unlock()
+				if err := runJob(j); err != nil {
+					record(j.slot, err)
 				}
 			}
 		}()
 	}
 	wg.Wait()
-	return lowestSlotError(errs)
+	return errs, skipped
+}
+
+// runJob executes one job with panic recovery and bounded retry of
+// transient failures.
+func runJob(j job) error {
+	var err error
+	for attempt := 0; attempt < maxJobAttempts; attempt++ {
+		err = runJobOnce(j)
+		var te *TransientError
+		if err == nil || !errors.As(err, &te) {
+			return err
+		}
+	}
+	return err
+}
+
+// runJobOnce executes the job's function, converting a panic into a
+// slot-attributed *PanicError.
+func runJobOnce(j job) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Slot: j.slot, Value: r, Stack: string(debug.Stack())}
+		}
+	}()
+	return j.run()
 }
 
 // lowestSlotError returns the recorded error with the smallest slot, for

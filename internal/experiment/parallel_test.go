@@ -2,6 +2,8 @@ package experiment
 
 import (
 	"errors"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 )
@@ -24,13 +26,27 @@ func TestRunParallelExecutesAll(t *testing.T) {
 	}
 }
 
+// When several in-flight jobs fail, the reported error is the one with the
+// lowest slot, regardless of completion order. A barrier holds all jobs
+// in-flight so cancellation cannot skip any of them.
 func TestRunParallelReportsLowestSlotError(t *testing.T) {
+	old := Parallelism
+	defer func() { Parallelism = old }()
+	Parallelism = 3
+
 	errA := errors.New("a")
 	errB := errors.New("b")
+	var barrier sync.WaitGroup
+	barrier.Add(3)
+	gate := func(err error) error {
+		barrier.Done()
+		barrier.Wait() // all three jobs are running before any error records
+		return err
+	}
 	jobs := []job{
-		{slot: 5, run: func() error { return errB }},
-		{slot: 2, run: func() error { return errA }},
-		{slot: 9, run: func() error { return nil }},
+		{slot: 5, run: func() error { return gate(errB) }},
+		{slot: 2, run: func() error { return gate(errA) }},
+		{slot: 9, run: func() error { return gate(nil) }},
 	}
 	if err := runParallel(jobs); err != errA {
 		t.Fatalf("got %v, want the slot-2 error", err)
@@ -54,6 +70,165 @@ func TestRunParallelEmptyAndSerial(t *testing.T) {
 	Parallelism = 0 // degenerate setting must still work
 	if err := runParallel([]job{{slot: 0, run: func() error { return nil }}}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// A panicking job must surface as a slot-attributed error — before panic
+// recovery, the panic killed its worker goroutine and wg.Wait() hung the
+// whole sweep once every worker had died.
+func TestRunParallelPanicSurfacesAsError(t *testing.T) {
+	old := Parallelism
+	defer func() { Parallelism = old }()
+	Parallelism = 2
+
+	var jobs []job
+	for i := 0; i < 8; i++ {
+		i := i
+		jobs = append(jobs, job{slot: i, run: func() error {
+			if i == 3 {
+				panic("boom")
+			}
+			return nil
+		}})
+	}
+	err := runParallel(jobs)
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("got %v, want *PanicError", err)
+	}
+	if pe.Slot != 3 || pe.Value != "boom" {
+		t.Fatalf("panic attributed to slot %d value %v", pe.Slot, pe.Value)
+	}
+	if !strings.Contains(pe.Stack, "goroutine") {
+		t.Fatal("panic error carries no stack trace")
+	}
+	if !strings.Contains(pe.Error(), "job 3 panicked") {
+		t.Fatalf("unhelpful message %q", pe.Error())
+	}
+}
+
+// Every worker panicking at once must still return, not deadlock.
+func TestRunParallelAllPanicNoHang(t *testing.T) {
+	old := Parallelism
+	defer func() { Parallelism = old }()
+	Parallelism = 4
+
+	var jobs []job
+	for i := 0; i < 4; i++ {
+		jobs = append(jobs, job{slot: i, run: func() error { panic("everyone") }})
+	}
+	var pe *PanicError
+	if err := runParallel(jobs); !errors.As(err, &pe) {
+		t.Fatalf("got %v, want *PanicError", err)
+	}
+}
+
+// After the first error, queued jobs are cancelled at pickup instead of
+// being executed uselessly.
+func TestRunParallelCancelsQueuedAfterError(t *testing.T) {
+	old := Parallelism
+	defer func() { Parallelism = old }()
+	Parallelism = 1 // serial pickup order makes the cancellation point exact
+
+	boom := errors.New("boom")
+	var ran int64
+	jobs := []job{
+		{slot: 0, run: func() error { atomic.AddInt64(&ran, 1); return nil }},
+		{slot: 1, run: func() error { return boom }},
+		{slot: 2, run: func() error { atomic.AddInt64(&ran, 1); return nil }},
+		{slot: 3, run: func() error { atomic.AddInt64(&ran, 1); return nil }},
+	}
+	errs, skipped := runParallelPartial(jobs, false)
+	if err := lowestSlotError(errs); err != boom {
+		t.Fatalf("got %v, want boom", err)
+	}
+	if ran != 1 {
+		t.Fatalf("%d clean jobs ran, want only the pre-error one", ran)
+	}
+	if skipped != 2 {
+		t.Fatalf("skipped %d jobs, want 2", skipped)
+	}
+}
+
+// With keepGoing, errors are collected without cancelling the rest —
+// partial-result aggregation runs every slot.
+func TestRunParallelPartialKeepsGoing(t *testing.T) {
+	old := Parallelism
+	defer func() { Parallelism = old }()
+	Parallelism = 4
+
+	boom := errors.New("boom")
+	var ran int64
+	var jobs []job
+	for i := 0; i < 12; i++ {
+		i := i
+		jobs = append(jobs, job{slot: i, run: func() error {
+			atomic.AddInt64(&ran, 1)
+			if i%4 == 0 {
+				return boom
+			}
+			return nil
+		}})
+	}
+	errs, skipped := runParallelPartial(jobs, true)
+	if ran != 12 || skipped != 0 {
+		t.Fatalf("ran %d skipped %d, want 12/0", ran, skipped)
+	}
+	if len(errs) != 3 {
+		t.Fatalf("recorded %d errors, want 3: %v", len(errs), errs)
+	}
+	for _, slot := range []int{0, 4, 8} {
+		if errs[slot] != boom {
+			t.Fatalf("slot %d error %v, want boom", slot, errs[slot])
+		}
+	}
+}
+
+// TransientError failures are retried up to maxJobAttempts; persistent
+// failures and plain errors are not retried.
+func TestRunParallelTransientRetry(t *testing.T) {
+	old := Parallelism
+	defer func() { Parallelism = old }()
+	Parallelism = 1
+
+	flaky := errors.New("flaky io")
+	var attempts int64
+	recovers := job{slot: 0, run: func() error {
+		if atomic.AddInt64(&attempts, 1) < 3 {
+			return &TransientError{Err: flaky}
+		}
+		return nil
+	}}
+	if err := runParallel([]job{recovers}); err != nil {
+		t.Fatalf("job recovered on retry but sweep failed: %v", err)
+	}
+	if attempts != 3 {
+		t.Fatalf("%d attempts, want 3", attempts)
+	}
+
+	attempts = 0
+	hopeless := job{slot: 0, run: func() error {
+		atomic.AddInt64(&attempts, 1)
+		return &TransientError{Err: flaky}
+	}}
+	err := runParallel([]job{hopeless})
+	if !errors.Is(err, flaky) {
+		t.Fatalf("got %v, want wrapped flaky error", err)
+	}
+	if attempts != maxJobAttempts {
+		t.Fatalf("%d attempts, want %d", attempts, maxJobAttempts)
+	}
+
+	attempts = 0
+	plain := job{slot: 0, run: func() error {
+		atomic.AddInt64(&attempts, 1)
+		return flaky
+	}}
+	if err := runParallel([]job{plain}); err != flaky {
+		t.Fatalf("got %v, want flaky", err)
+	}
+	if attempts != 1 {
+		t.Fatalf("plain error retried: %d attempts", attempts)
 	}
 }
 

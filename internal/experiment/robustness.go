@@ -1,0 +1,264 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"github.com/eadvfs/eadvfs/internal/energy"
+	"github.com/eadvfs/eadvfs/internal/fault"
+	"github.com/eadvfs/eadvfs/internal/metrics"
+	"github.com/eadvfs/eadvfs/internal/rng"
+	"github.com/eadvfs/eadvfs/internal/sim"
+	"github.com/eadvfs/eadvfs/internal/storage"
+)
+
+// RobustnessSpec drives a fault-intensity sweep: each policy is simulated
+// at every intensity of the canonical mixed-fault model
+// (fault.AtIntensity), at a single storage capacity. Within a replication
+// every policy and every intensity sees the same task set, solar sample
+// path and fault seed — the paired-comparison discipline of §5.2 extended
+// to the fault dimension, so miss-rate differences are attributable to the
+// policies, not to fault-schedule luck.
+type RobustnessSpec struct {
+	Base        Spec      // workload parameters; Capacities is ignored
+	Policies    []string  // policies to compare (see Policy)
+	Intensities []float64 // fault intensities in [0, 1], e.g. 0, 0.25, …, 1
+	FaultSeed   uint64    // master fault seed (default 1)
+	Capacity    float64   // storage capacity for every run
+}
+
+// DefaultRobustnessSpec returns a CI-friendly sweep: the default workload,
+// the paper's three headline policies, five intensity steps at a mid-range
+// capacity.
+func DefaultRobustnessSpec() RobustnessSpec {
+	base := DefaultSpec()
+	base.Replications = 20
+	return RobustnessSpec{
+		Base:        base,
+		Policies:    []string{"edf", "lsa", "ea-dvfs"},
+		Intensities: []float64{0, 0.25, 0.5, 0.75, 1},
+		FaultSeed:   1,
+		Capacity:    1000,
+	}
+}
+
+// Validate checks the sweep parameters.
+func (rs RobustnessSpec) Validate() error {
+	base := rs.Base
+	base.Capacities = []float64{rs.Capacity} // Capacity stands in for the sweep
+	if err := base.Validate(); err != nil {
+		return err
+	}
+	if len(rs.Policies) == 0 {
+		return fmt.Errorf("experiment: robustness sweep with no policies")
+	}
+	if len(rs.Intensities) == 0 {
+		return fmt.Errorf("experiment: robustness sweep with no intensities")
+	}
+	for _, x := range rs.Intensities {
+		if x < 0 || x > 1 || math.IsNaN(x) {
+			return fmt.Errorf("experiment: fault intensity %v outside [0, 1]", x)
+		}
+	}
+	return nil
+}
+
+// faultSeed derives the fault seed of replication r from the master
+// FaultSeed, independent of the workload seeds.
+func (rs RobustnessSpec) faultSeed(r int) uint64 {
+	seed := rs.FaultSeed
+	if seed == 0 {
+		seed = 1
+	}
+	return rng.New(seed).Child(uint64(r)).Uint64()
+}
+
+// RobustnessResult holds the sweep outcome per (policy, intensity) point:
+// the pooled deadline-miss rate over the replications that completed, the
+// aggregated degradation counters, and how many replications were lost to
+// run errors (the sweep aggregates partial results instead of discarding
+// everything on the first failure).
+type RobustnessResult struct {
+	Spec        RobustnessSpec
+	Intensities []float64
+	// MissRates[policy][i] is the pooled miss rate at Intensities[i].
+	MissRates map[string][]float64
+	// Stats carries the pooled miss tallies behind MissRates.
+	Stats map[string][]metrics.MissStats
+	// Degradation[policy][i] sums the degradation counters over completed
+	// replications.
+	Degradation map[string][]metrics.Degradation
+	// Failed[policy][i] counts replications that errored at this point.
+	Failed map[string][]int
+
+	errs []string // stable descriptions of the per-run errors
+}
+
+// Errs returns the per-point run errors of the sweep, keyed
+// "policy@intensity", in deterministic key order. Empty for a clean sweep.
+func (r *RobustnessResult) Errs() []string { return r.errs }
+
+// RobustnessSweep runs the fault-intensity sweep. One failing replication
+// does not abort the sweep: its point aggregates the surviving
+// replications and the failure is reported in Failed (and Errs). An error
+// is returned only for invalid specs or when every run of the sweep
+// failed.
+func RobustnessSweep(rs RobustnessSpec) (*RobustnessResult, error) {
+	if err := rs.Validate(); err != nil {
+		return nil, err
+	}
+	base := rs.Base
+	base.Capacities = []float64{rs.Capacity}
+	factories, err := policyFactories(base, rs.Policies)
+	if err != nil {
+		return nil, err
+	}
+	reps, err := replicateAll(base)
+	if err != nil {
+		return nil, err
+	}
+
+	ni, np := len(rs.Intensities), len(rs.Policies)
+	type cell struct {
+		miss metrics.MissStats
+		deg  metrics.Degradation
+	}
+	cells := make([]cell, base.Replications*ni*np)
+	var jobs []job
+	for r := 0; r < base.Replications; r++ {
+		fseed := rs.faultSeed(r)
+		for ii := range rs.Intensities {
+			fspec := fault.AtIntensity(fseed, rs.Intensities[ii])
+			for pi := range rs.Policies {
+				slot := (r*ni+ii)*np + pi
+				r, pi, fspec := r, pi, fspec
+				jobs = append(jobs, job{slot: slot, run: func() error {
+					res, err := runFaulted(base, reps[r], rs.Capacity, factories[pi], fspec)
+					if err != nil {
+						return err
+					}
+					cells[slot] = cell{miss: res.Miss, deg: res.Degradation}
+					return nil
+				}})
+			}
+		}
+	}
+	errs, _ := runParallelPartial(jobs, true)
+
+	out := &RobustnessResult{
+		Spec:        rs,
+		Intensities: append([]float64(nil), rs.Intensities...),
+		MissRates:   make(map[string][]float64, np),
+		Stats:       make(map[string][]metrics.MissStats, np),
+		Degradation: make(map[string][]metrics.Degradation, np),
+		Failed:      make(map[string][]int, np),
+	}
+	for _, name := range rs.Policies {
+		out.MissRates[name] = make([]float64, ni)
+		out.Stats[name] = make([]metrics.MissStats, ni)
+		out.Degradation[name] = make([]metrics.Degradation, ni)
+		out.Failed[name] = make([]int, ni)
+	}
+	for r := 0; r < base.Replications; r++ {
+		for ii := range rs.Intensities {
+			for pi, name := range rs.Policies {
+				slot := (r*ni+ii)*np + pi
+				if errs[slot] != nil {
+					out.Failed[name][ii]++
+					continue
+				}
+				out.Stats[name][ii].Add(cells[slot].miss)
+				out.Degradation[name][ii].Add(cells[slot].deg)
+			}
+		}
+	}
+	for _, name := range rs.Policies {
+		for ii := range rs.Intensities {
+			out.MissRates[name][ii] = out.Stats[name][ii].Rate()
+		}
+	}
+	if len(errs) == len(jobs) && len(jobs) > 0 {
+		return nil, fmt.Errorf("experiment: every robustness run failed; first: %w", lowestSlotError(errs))
+	}
+	out.errs = describeErrs(errs, rs, np, ni)
+	return out, nil
+}
+
+func describeErrs(errs map[int]error, rs RobustnessSpec, np, ni int) []string {
+	if len(errs) == 0 {
+		return nil
+	}
+	slots := make([]int, 0, len(errs))
+	for s := range errs {
+		slots = append(slots, s)
+	}
+	sort.Ints(slots)
+	out := make([]string, 0, len(slots))
+	for _, s := range slots {
+		pi := s % np
+		ii := (s / np) % ni
+		r := s / (np * ni)
+		out = append(out, fmt.Sprintf("%s@%g rep %d: %v", rs.Policies[pi], rs.Intensities[ii], r, errs[s]))
+	}
+	return out
+}
+
+// Summary renders the sweep as a stable plain-text table: the same spec
+// and seeds produce a byte-identical summary on every invocation and at
+// any Parallelism, which is what the reproducibility tests (and bug
+// reports) diff.
+func (r *RobustnessResult) Summary() string {
+	var b strings.Builder
+	rs := r.Spec
+	fmt.Fprintf(&b, "robustness sweep: U=%g capacity=%g reps=%d seed=%d faultseed=%d predictor=%s\n",
+		rs.Base.Utilization, rs.Capacity, rs.Base.Replications, rs.Base.Seed, rs.FaultSeed, predictorName(rs.Base.Predictor))
+	fmt.Fprintf(&b, "%-16s %9s %9s %9s %8s %8s %7s %7s %6s %6s\n",
+		"policy", "intensity", "missrate", "overruns", "clamps", "stale", "fadeE", "spikeE", "downT", "failed")
+	for _, name := range rs.Policies {
+		for ii, x := range r.Intensities {
+			d := r.Degradation[name][ii]
+			fmt.Fprintf(&b, "%-16s %9.3g %9.6f %9d %8d %8d %7.4g %7.4g %6.4g %6d\n",
+				name, x, r.MissRates[name][ii],
+				d.Overruns, d.DVFSClamps, d.StaleForecasts,
+				d.FadeEnergy, d.LeakSpikeEnergy, d.SourceFaultTime,
+				r.Failed[name][ii])
+		}
+	}
+	for _, e := range r.errs {
+		fmt.Fprintf(&b, "error: %s\n", e)
+	}
+	return b.String()
+}
+
+func predictorName(name string) string {
+	if name == "" {
+		return "ewma"
+	}
+	return name
+}
+
+// runFaulted is RunOne with a fault spec applied (and no energy series —
+// robustness sweeps only need tallies).
+func runFaulted(s Spec, rep Replication, capacity float64, pf PolicyFactory, fspec fault.Spec) (*sim.Result, error) {
+	predF, err := s.PredictorFor(s.Predictor)
+	if err != nil {
+		return nil, err
+	}
+	src := energy.NewSolarModel(rep.SourceSeed)
+	cfg := &sim.Config{
+		Horizon:   s.Horizon,
+		Tasks:     rep.Tasks,
+		Source:    src,
+		Predictor: predF(src),
+		Store:     storage.NewIdeal(capacity),
+		CPU:       s.Processor(),
+		Policy:    pf(),
+		MaxEvents: defaultEventBudget(s.Horizon),
+	}
+	if fspec.Enabled() {
+		cfg.Faults = &fspec
+	}
+	return sim.Run(cfg)
+}

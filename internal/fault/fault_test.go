@@ -1,0 +1,374 @@
+package fault
+
+import (
+	"math"
+	"testing"
+
+	"github.com/eadvfs/eadvfs/internal/energy"
+	"github.com/eadvfs/eadvfs/internal/rng"
+	"github.com/eadvfs/eadvfs/internal/storage"
+)
+
+// denseSpec enables every injector with windows frequent enough to hit a
+// short test horizon many times.
+func denseSpec(seed uint64) Spec {
+	return Spec{
+		Seed:          seed,
+		Dropout:       WindowSpec{MeanGap: 10, MeanLen: 3},
+		DropFactor:    0.25,
+		FadeRate:      1e-3,
+		FadeLimit:     0.4,
+		LeakSpike:     WindowSpec{MeanGap: 12, MeanLen: 4},
+		LeakSpikeRate: 1.5,
+		DVFSStuck:     WindowSpec{MeanGap: 15, MeanLen: 5},
+		Blackout:      WindowSpec{MeanGap: 8, MeanLen: 3},
+		OverrunProb:   0.5,
+		OverrunMax:    0.5,
+	}
+}
+
+func mustSet(t *testing.T, spec Spec) *Set {
+	t.Helper()
+	s, err := New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s == nil {
+		t.Fatal("enabled spec produced nil set")
+	}
+	return s
+}
+
+func TestSpecValidate(t *testing.T) {
+	if err := denseSpec(1).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Spec{}).Validate(); err != nil {
+		t.Fatalf("zero spec must validate: %v", err)
+	}
+	bad := []func(*Spec){
+		func(s *Spec) { s.Dropout.MeanGap = -1 },
+		func(s *Spec) { s.Dropout = WindowSpec{MeanGap: 10} }, // half-enabled
+		func(s *Spec) { s.DropFactor = 1 },
+		func(s *Spec) { s.DropFactor = math.NaN() },
+		func(s *Spec) { s.FadeRate = -0.1 },
+		func(s *Spec) { s.FadeLimit = 1 },
+		func(s *Spec) { s.LeakSpikeRate = math.Inf(1) },
+		func(s *Spec) { s.OverrunProb = 1.1 },
+		func(s *Spec) { s.OverrunMax = -1 },
+		func(s *Spec) { s.OverrunProb = 0.5; s.OverrunMax = 0 },
+	}
+	for i, mutate := range bad {
+		s := denseSpec(1)
+		mutate(&s)
+		if err := s.Validate(); err == nil {
+			t.Fatalf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestDisabledSpecIsNilSet(t *testing.T) {
+	s, err := New(Spec{})
+	if err != nil || s != nil {
+		t.Fatalf("New(zero) = (%v, %v), want (nil, nil)", s, err)
+	}
+	// nil-Set methods must all pass through.
+	if f := s.OverrunFactor(3, 7); f != 1 {
+		t.Fatalf("nil set overrun factor %v", f)
+	}
+	if lv := s.DVFSLevel(10, 2, 5); lv != 5 {
+		t.Fatalf("nil set DVFS level %d, want requested 5", lv)
+	}
+	src := energy.NewConstant(2)
+	if got := s.WrapSource(src); got != energy.Source(src) {
+		t.Fatal("nil set wrapped the source")
+	}
+	st := storage.NewIdeal(100)
+	if got := s.WrapStore(st); got != storage.Reservoir(st) {
+		t.Fatal("nil set wrapped the store")
+	}
+	if d := s.Counters(); d.Any() {
+		t.Fatalf("nil set counters %+v", d)
+	}
+	s.FinishAt(100) // must not panic
+	s.AddOverrunWork(1)
+}
+
+func TestAtIntensity(t *testing.T) {
+	if sp := AtIntensity(7, 0); sp.Enabled() {
+		t.Fatalf("intensity 0 spec enabled: %+v", sp)
+	}
+	for _, x := range []float64{0.1, 0.5, 1, 2 /* clamped */} {
+		sp := AtIntensity(7, x)
+		if err := sp.Validate(); err != nil {
+			t.Fatalf("AtIntensity(%g): %v", x, err)
+		}
+		if !sp.Enabled() {
+			t.Fatalf("AtIntensity(%g) disabled", x)
+		}
+	}
+	// Severity scales with intensity: duty cycles and magnitudes grow.
+	lo, hi := AtIntensity(7, 0.2), AtIntensity(7, 0.9)
+	if lo.Dropout.DutyCycle() >= hi.Dropout.DutyCycle() {
+		t.Fatal("dropout duty cycle not increasing in intensity")
+	}
+	if lo.OverrunProb >= hi.OverrunProb || lo.LeakSpikeRate >= hi.LeakSpikeRate {
+		t.Fatal("fault magnitudes not increasing in intensity")
+	}
+}
+
+// Table-driven determinism check per injector: the same seed must yield
+// the identical window schedule, and queries must be order-independent
+// (the oracle predictor probes future times before the engine gets there).
+func TestWindowScheduleDeterminism(t *testing.T) {
+	pick := func(s *Set) map[string]*windows {
+		return map[string]*windows{
+			"dropout":    s.dropout,
+			"leak-spike": s.leakSpike,
+			"dvfs-stuck": s.dvfsStuck,
+			"blackout":   s.blackout,
+		}
+	}
+	const horizon = 2000.0
+	for name := range pick(mustSet(t, denseSpec(1))) {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			a := pick(mustSet(t, denseSpec(42)))[name]
+			b := pick(mustSet(t, denseSpec(42)))[name]
+			c := pick(mustSet(t, denseSpec(43)))[name]
+
+			// a queried sequentially, b queried out of order first.
+			b.active(horizon / 2)
+			b.overlap(0, horizon)
+			var diverged bool
+			for k := 0.0; k < horizon; k++ {
+				av, bv := a.active(k), b.active(k)
+				if av != bv {
+					t.Fatalf("seed-42 schedules disagree at t=%g (%v vs %v)", k, av, bv)
+				}
+				if av != c.active(k) {
+					diverged = true
+				}
+			}
+			if !diverged {
+				t.Fatal("different seeds produced the identical schedule")
+			}
+			if a.overlap(0, horizon) != b.overlap(0, horizon) {
+				t.Fatal("overlap disagrees between identically seeded schedules")
+			}
+			// Windows are unit-aligned with ≥1-unit gaps and lengths, so
+			// the piecewise-constant source contract holds.
+			for i, sp := range a.spans {
+				if sp.start != math.Trunc(sp.start) || sp.end != math.Trunc(sp.end) {
+					t.Fatalf("span %d = %+v not unit-aligned", i, sp)
+				}
+				if sp.end-sp.start < 1 {
+					t.Fatalf("span %d shorter than a unit: %+v", i, sp)
+				}
+				if i > 0 && sp.start-a.spans[i-1].end < 1 {
+					t.Fatalf("gap before span %d shorter than a unit", i)
+				}
+			}
+			if a.overlap(0, horizon) <= 0 {
+				t.Fatal("dense schedule produced no window time")
+			}
+		})
+	}
+}
+
+// Overrun draws are a pure function of (seed, task, seq) — independent of
+// the order jobs arrive in, which is what keeps faulted runs seed-stable
+// across scheduling differences.
+func TestOverrunDeterminism(t *testing.T) {
+	a := mustSet(t, denseSpec(42))
+	b := mustSet(t, denseSpec(42))
+
+	type key struct{ task, seq int }
+	got := map[key]float64{}
+	for task := 1; task <= 5; task++ {
+		for seq := 0; seq < 50; seq++ {
+			got[key{task, seq}] = a.OverrunFactor(task, seq)
+		}
+	}
+	// b draws in reverse order; every factor must match a's.
+	overruns := 0
+	for task := 5; task >= 1; task-- {
+		for seq := 49; seq >= 0; seq-- {
+			f := b.OverrunFactor(task, seq)
+			if f != got[key{task, seq}] {
+				t.Fatalf("task %d seq %d: %v vs %v (order-dependent draw)", task, seq, f, got[key{task, seq}])
+			}
+			if f < 1 || f > 1+b.spec.OverrunMax {
+				t.Fatalf("factor %v outside [1, %v]", f, 1+b.spec.OverrunMax)
+			}
+			if f > 1 {
+				overruns++
+			}
+		}
+	}
+	if overruns == 0 || overruns == 250 {
+		t.Fatalf("%d/250 overruns — probability not acting", overruns)
+	}
+	if a.Counters().Overruns != b.Counters().Overruns {
+		t.Fatal("overrun counters diverged")
+	}
+}
+
+func TestFlakySourceDropout(t *testing.T) {
+	spec := denseSpec(42)
+	set := mustSet(t, spec)
+	inner := energy.NewConstant(4)
+	src := set.WrapSource(inner)
+
+	in, out := 0, 0
+	for k := 0.0; k < 500; k++ {
+		p := src.PowerAt(k)
+		if set.dropout.active(k) {
+			in++
+			if want := 4 * spec.DropFactor; p != want {
+				t.Fatalf("t=%g: dropout power %v, want %v", k, p, want)
+			}
+		} else {
+			out++
+			if p != 4 {
+				t.Fatalf("t=%g: nominal power %v, want 4", k, p)
+			}
+		}
+	}
+	if in == 0 || out == 0 {
+		t.Fatalf("degenerate schedule: %d in, %d out", in, out)
+	}
+	if src.MeanPower() >= inner.MeanPower() {
+		t.Fatal("flaky mean power not reduced")
+	}
+	// Same seed, same wrapped trace.
+	again := mustSet(t, spec).WrapSource(energy.NewConstant(4))
+	for k := 0.0; k < 500; k++ {
+		if src.PowerAt(k) != again.PowerAt(k) {
+			t.Fatalf("t=%g: wrapped trace not reproducible", k)
+		}
+	}
+}
+
+// The degraded store loses energy to spikes and fade, meters every loss
+// through the inner draw path, and therefore conserves energy exactly.
+func TestDegradedStoreConservesEnergy(t *testing.T) {
+	spec := denseSpec(42)
+	set := mustSet(t, spec)
+	inner := storage.New(200, 200)
+	st := set.WrapStore(inner)
+
+	const initial = 200.0
+	for i := 0; i < 400; i++ {
+		st.Flow(1.0, 0.8, 1.0)
+	}
+	d := set.Counters()
+	if d.LeakSpikeEnergy <= 0 {
+		t.Fatalf("no spike loss recorded: %+v", d)
+	}
+	if err := st.ConservationError(initial); math.Abs(err) > 1e-9*initial {
+		t.Fatalf("conservation error %v", err)
+	}
+	if st.Capacity() >= 200 {
+		t.Fatalf("capacity %v did not fade", st.Capacity())
+	}
+	if floor := 200 * (1 - spec.FadeLimit); st.Capacity() < floor-1e-9 {
+		t.Fatalf("capacity %v faded past the limit %v", st.Capacity(), floor)
+	}
+}
+
+// Fade must shed stored energy that the shrunken capacity can no longer
+// hold, and TimeToEmpty must stay conservative (never later than the
+// inner store's own estimate under the extra drains).
+func TestDegradedStoreFadeShedsExcess(t *testing.T) {
+	spec := Spec{Seed: 9, FadeRate: 1e-2, FadeLimit: 0.5}
+	set := mustSet(t, spec)
+	st := set.WrapStore(storage.New(100, 100))
+
+	// Hold the store full; fade forces the level down with the capacity.
+	for i := 0; i < 20; i++ {
+		st.Flow(5, 0, 1) // surplus keeps it pinned at capacity
+	}
+	if lvl, cap := st.Level(), st.Capacity(); lvl > cap+1e-9 {
+		t.Fatalf("level %v exceeds faded capacity %v", lvl, cap)
+	}
+	if set.Counters().FadeEnergy <= 0 {
+		t.Fatal("no fade loss recorded")
+	}
+	if tte := st.TimeToEmpty(0, 1); tte > 100 {
+		t.Fatalf("TimeToEmpty %v not conservative under fade", tte)
+	}
+}
+
+func TestBlackoutPredictorDropsObservations(t *testing.T) {
+	spec := denseSpec(42)
+	set := mustSet(t, spec)
+	inner := energy.NewLastValue()
+	pred := set.WrapPredictor(inner)
+
+	dropped := 0
+	for k := 0.0; k < 300; k++ {
+		pred.Observe(k, k+1) // strictly increasing signal
+		if set.blackout.active(k) {
+			dropped++
+		}
+	}
+	if dropped == 0 {
+		t.Fatal("schedule produced no blackout units")
+	}
+	if got := set.Counters().StaleForecasts; got != dropped {
+		t.Fatalf("StaleForecasts %d, want %d", got, dropped)
+	}
+	// The inner predictor must have missed the blacked-out observations:
+	// its last value is the last non-blackout sample, not 300.
+	if p := pred.PredictEnergy(300, 301); p == 300 && set.blackout.active(299) {
+		t.Fatal("blackout failed to drop the final observation")
+	}
+}
+
+func TestDVFSLevelStuck(t *testing.T) {
+	set := mustSet(t, denseSpec(42))
+	// Find one stuck window.
+	var tIn, tOut float64 = -1, -1
+	for k := 0.0; k < 2000; k++ {
+		if set.dvfsStuck.active(k) && tIn < 0 {
+			tIn = k
+		}
+		if !set.dvfsStuck.active(k) && tOut < 0 {
+			tOut = k
+		}
+	}
+	if tIn < 0 || tOut < 0 {
+		t.Fatal("no stuck/free instants found")
+	}
+	if lv := set.DVFSLevel(tIn, 1, 3); lv != 1 {
+		t.Fatalf("stuck window let level change: %d", lv)
+	}
+	if lv := set.DVFSLevel(tIn, -1, 3); lv != 3 {
+		t.Fatal("stuck window blocked the first latch (current < 0)")
+	}
+	if lv := set.DVFSLevel(tOut, 1, 3); lv != 3 {
+		t.Fatal("free instant refused the transition")
+	}
+	if set.Counters().DVFSClamps != 1 {
+		t.Fatalf("DVFSClamps %d, want 1", set.Counters().DVFSClamps)
+	}
+}
+
+// Child streams keep the injector schedules mutually independent: the
+// stream constants must stay distinct (a collision would correlate two
+// injectors' schedules under every seed).
+func TestStreamConstantsDistinct(t *testing.T) {
+	streams := []uint64{streamDropout, streamLeakSpike, streamDVFSStuck, streamBlackout, streamOverrun}
+	seen := map[uint64]bool{}
+	for _, s := range streams {
+		if seen[s] {
+			t.Fatalf("stream constant %d reused", s)
+		}
+		seen[s] = true
+	}
+	r := rng.New(1)
+	if r.Child(streamDropout).Uint64() == r.Child(streamLeakSpike).Uint64() {
+		t.Fatal("child streams not independent")
+	}
+}

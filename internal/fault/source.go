@@ -1,0 +1,44 @@
+package fault
+
+import (
+	"github.com/eadvfs/eadvfs/internal/energy"
+)
+
+// flakySource wraps an energy.Source with dropout/brown-out windows:
+// during a window the output is multiplied by the spec's DropFactor.
+// Windows are unit-aligned, so the wrapped source keeps the
+// piecewise-constant-per-unit contract the engine's exact integration
+// depends on, and PowerAt remains a pure function of t for a given pair
+// of seeds (the oracle predictor may query any interval in any order).
+type flakySource struct {
+	src energy.Source
+	set *Set
+}
+
+// WrapSource returns src with the spec's harvester faults applied, or src
+// unchanged when the dropout injector is disabled.
+func (s *Set) WrapSource(src energy.Source) energy.Source {
+	if s == nil || !s.spec.Dropout.Enabled() {
+		return src
+	}
+	return &flakySource{src: src, set: s}
+}
+
+// PowerAt implements energy.Source.
+func (f *flakySource) PowerAt(t float64) float64 {
+	p := f.src.PowerAt(t)
+	if f.set.dropout.active(t) {
+		return p * f.set.spec.DropFactor
+	}
+	return p
+}
+
+// MeanPower implements energy.Source: the nominal mean scaled by the
+// expected fault duty cycle.
+func (f *flakySource) MeanPower() float64 {
+	duty := f.set.spec.Dropout.DutyCycle()
+	return f.src.MeanPower() * (1 - duty*(1-f.set.spec.DropFactor))
+}
+
+// Name implements energy.Source.
+func (f *flakySource) Name() string { return "flaky(" + f.src.Name() + ")" }

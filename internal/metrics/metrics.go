@@ -154,6 +154,45 @@ func (m MissStats) Check() error {
 	return nil
 }
 
+// Degradation tallies graceful-degradation events: how often and how hard
+// injected faults (internal/fault) bent a run away from its nominal
+// behaviour. The engine records these instead of failing, so experiments
+// can quantify robustness ("how does the miss rate respond to harvester
+// dropouts?") rather than crash. The zero value means a clean run.
+type Degradation struct {
+	SourceFaultTime float64 // time the harvester was in dropout/brown-out
+	LeakSpikeTime   float64 // time the store leaked at the spiked rate
+	DVFSStuckTime   float64 // time DVFS transitions were inhibited
+	BlackoutTime    float64 // time the predictor was blind
+
+	FadeEnergy      float64 // energy lost to storage capacity fade
+	LeakSpikeEnergy float64 // energy lost to leakage spikes
+	OverrunWork     float64 // actual work executed beyond declared WCETs
+
+	DVFSClamps     int // decisions whose requested level was overridden
+	StaleForecasts int // predictor observations dropped
+	Overruns       int // jobs whose actual work exceeded their WCET
+}
+
+// Any reports whether any degradation was recorded.
+func (d Degradation) Any() bool {
+	return d != Degradation{}
+}
+
+// Add accumulates another tally.
+func (d *Degradation) Add(o Degradation) {
+	d.SourceFaultTime += o.SourceFaultTime
+	d.LeakSpikeTime += o.LeakSpikeTime
+	d.DVFSStuckTime += o.DVFSStuckTime
+	d.BlackoutTime += o.BlackoutTime
+	d.FadeEnergy += o.FadeEnergy
+	d.LeakSpikeEnergy += o.LeakSpikeEnergy
+	d.OverrunWork += o.OverrunWork
+	d.DVFSClamps += o.DVFSClamps
+	d.StaleForecasts += o.StaleForecasts
+	d.Overruns += o.Overruns
+}
+
 // Histogram is a fixed-width bucket histogram over [Lo, Hi); out-of-range
 // observations clamp into the edge buckets.
 type Histogram struct {

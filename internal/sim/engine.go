@@ -18,6 +18,7 @@ import (
 	"github.com/eadvfs/eadvfs/internal/cpu"
 	"github.com/eadvfs/eadvfs/internal/des"
 	"github.com/eadvfs/eadvfs/internal/energy"
+	"github.com/eadvfs/eadvfs/internal/fault"
 	"github.com/eadvfs/eadvfs/internal/metrics"
 	"github.com/eadvfs/eadvfs/internal/rng"
 	"github.com/eadvfs/eadvfs/internal/sched"
@@ -116,6 +117,27 @@ type Config struct {
 
 	// Tracer, when non-nil, receives schedule segments and events.
 	Tracer Tracer
+
+	// Faults, when non-nil and enabled, injects the declared substrate
+	// faults into the run: the source, store and predictor are wrapped,
+	// DVFS decisions pass through the stuck-frequency fault, and jobs may
+	// overrun their WCET. The engine degrades gracefully — stalls, misses
+	// and clamped operating points are tallied in Result.Degradation,
+	// never fatal. A fresh fault.Set is materialized per run, so the
+	// Config stays reusable.
+	Faults *fault.Spec
+
+	// CheckInvariants enables the runtime self-checker: store bounds
+	// after every flow, energy conservation at unit boundaries and run
+	// end, event-clock monotonicity and miss-tally consistency. When a
+	// run breaches an invariant, Run returns the Result together with a
+	// *InvariantError describing every recorded violation.
+	CheckInvariants bool
+
+	// MaxEvents aborts the run with a *EventBudgetError after this many
+	// dispatched events (0 = unlimited) — a watchdog that turns a runaway
+	// decision loop into a diagnosable error instead of a hung worker.
+	MaxEvents uint64
 }
 
 // Validate checks the configuration for structural errors.
@@ -147,6 +169,11 @@ func (c *Config) Validate() error {
 		}
 		if j.Done() || j.Remaining() != j.WCET {
 			return fmt.Errorf("sim: job %d/%d already executed", j.TaskID, j.Seq)
+		}
+	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(); err != nil {
+			return fmt.Errorf("sim: %w", err)
 		}
 	}
 	return nil
@@ -184,6 +211,10 @@ type Result struct {
 
 	Events          uint64
 	ConservationErr float64
+
+	// Degradation tallies how the run bent under injected faults
+	// (Config.Faults); zero for a fault-free run.
+	Degradation metrics.Degradation
 }
 
 // engine is the per-run mutable state.
@@ -207,24 +238,55 @@ type engine struct {
 	initialLevel float64
 	tasks        *taskTable
 	execRNG      *rng.RNG // per-job actual-work draws; nil when BCWCRatio is off
+	faults       *fault.Set
+	inv          *invariantChecker
 	res          *Result
 }
 
 // Run executes the configured simulation and returns its result.
+//
+// With Config.CheckInvariants set, a run that breaches an invariant
+// returns BOTH the (suspect) Result and a *InvariantError, so callers can
+// diagnose the drift; a watchdog abort (Config.MaxEvents) returns a
+// *EventBudgetError with a nil Result.
 func Run(cfg *Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+
+	// Materialize the per-run fault set and interpose its wrappers on a
+	// shallow copy, leaving the caller's Config untouched. A disabled (or
+	// nil) fault spec yields a nil set: every path below degrades to the
+	// exact fault-free behaviour, bit for bit.
+	var faults *fault.Set
+	if cfg.Faults != nil {
+		var err error
+		if faults, err = fault.New(*cfg.Faults); err != nil {
+			return nil, err
+		}
+		if faults != nil {
+			runCfg := *cfg
+			runCfg.Source = faults.WrapSource(cfg.Source)
+			runCfg.Store = faults.WrapStore(cfg.Store)
+			runCfg.Predictor = faults.WrapPredictor(cfg.Predictor)
+			cfg = &runCfg
+		}
+	}
+
 	e := &engine{
 		cfg:       cfg,
 		kernel:    des.NewKernel(),
 		queue:     task.NewReadyQueue(),
 		lastRunLv: -1,
 		tasks:     newTaskTable(),
+		faults:    faults,
 		res: &Result{
 			Policy:    cfg.Policy.Name(),
 			LevelTime: make([]float64, cfg.CPU.Levels()),
 		},
+	}
+	if cfg.CheckInvariants {
+		e.inv = &invariantChecker{}
 	}
 	e.initialLevel = cfg.Store.Level()
 	if cfg.BCWCRatio > 0 && cfg.BCWCRatio < 1 {
@@ -259,19 +321,58 @@ func Run(cfg *Config) (*Result, error) {
 	}
 
 	e.requestDecide(0)
-	e.kernel.RunUntil(cfg.Horizon)
+	if err := e.dispatch(); err != nil {
+		return nil, err
+	}
 	e.syncTo(cfg.Horizon)
 	e.closeSegment(cfg.Horizon)
 
+	e.faults.FinishAt(cfg.Horizon)
+	e.res.Degradation = e.faults.Counters()
 	e.res.PerTask = e.tasks.table()
 	e.res.Meters = cfg.Store.Meters()
 	e.res.FinalLevel = cfg.Store.Level()
 	e.res.Events = e.kernel.Steps()
 	e.res.ConservationErr = cfg.Store.ConservationError(e.initialLevel)
 	if err := e.res.Miss.Check(); err != nil {
-		return nil, err
+		if e.inv == nil {
+			return nil, err
+		}
+		e.inv.record("miss-stats", cfg.Horizon, "%v", err)
+	}
+	if e.inv != nil {
+		e.inv.checkConservation(cfg.Horizon, e.res.ConservationErr, e.initialLevel+e.res.Meters.Stored)
+		if err := e.inv.err(); err != nil {
+			return e.res, err
+		}
 	}
 	return e.res, nil
+}
+
+// dispatch runs the event loop to the horizon, enforcing the optional
+// event budget (Config.MaxEvents).
+func (e *engine) dispatch() error {
+	if e.cfg.MaxEvents == 0 {
+		e.kernel.RunUntil(e.cfg.Horizon)
+		return nil
+	}
+	for {
+		t, ok := e.kernel.PeekTime()
+		if !ok || t > e.cfg.Horizon {
+			break
+		}
+		if e.kernel.Steps() >= e.cfg.MaxEvents {
+			return &EventBudgetError{
+				Events:  e.kernel.Steps(),
+				Time:    e.kernel.Now(),
+				Horizon: e.cfg.Horizon,
+				Pending: e.kernel.Pending(),
+			}
+		}
+		e.kernel.Step()
+	}
+	e.kernel.RunUntil(e.cfg.Horizon) // advance the clock to the horizon
+	return nil
 }
 
 // cpuPower returns the processor draw for the current mode.
@@ -292,6 +393,12 @@ func (e *engine) cpuPower() float64 {
 // events call syncTo before mutating anything.
 func (e *engine) syncTo(now float64) {
 	if now < e.lastT-1e-9 {
+		if e.inv != nil {
+			// Structured violation instead of a crash: record the causal
+			// breach and refuse to integrate backwards.
+			e.inv.record("clock", now, "syncTo backwards from %g", e.lastT)
+			return
+		}
 		panic(fmt.Sprintf("sim: syncTo backwards from %v to %v", e.lastT, now))
 	}
 	pc := e.cpuPower()
@@ -303,6 +410,9 @@ func (e *engine) syncTo(now float64) {
 		dt := end - e.lastT
 		ps := e.cfg.Source.PowerAt(e.lastT)
 		delivered, _ := e.cfg.Store.Flow(ps, pc, dt)
+		if e.inv != nil {
+			e.inv.checkStoreBounds(end, e.cfg.Store.Level(), e.cfg.Store.Capacity())
+		}
 		switch e.mode {
 		case ModeRun:
 			e.res.BusyTime += dt
@@ -359,11 +469,23 @@ func (e *engine) emit(t float64, kind string, j *task.Job) {
 
 func (e *engine) onArrival(now float64, j *task.Job) {
 	e.syncTo(now)
+	actual := j.WCET
+	drawn := false
 	if e.execRNG != nil {
 		// Deterministic per-(task, seq) draw, independent of event order.
 		stream := uint64(j.TaskID)<<32 ^ uint64(j.Seq)
 		r := e.execRNG.Child(stream)
-		j.SetActualWork(j.WCET * r.Uniform(e.cfg.BCWCRatio, 1))
+		actual = j.WCET * r.Uniform(e.cfg.BCWCRatio, 1)
+		drawn = true
+	}
+	// Injected overrun: the true work exceeds what the task declared; the
+	// scheduler keeps budgeting the WCET and only the engine knows.
+	if of := e.faults.OverrunFactor(j.TaskID, j.Seq); of > 1 {
+		actual *= of
+		j.SetOverrunWork(actual)
+		e.faults.AddOverrunWork(math.Max(0, actual-j.WCET))
+	} else if drawn {
+		j.SetActualWork(actual)
 	}
 	e.res.Miss.Released++
 	e.tasks.released(j)
@@ -410,6 +532,11 @@ func (e *engine) onDeadline(now float64, j *task.Job) {
 
 func (e *engine) onBoundary(now float64) {
 	e.syncTo(now)
+	if e.inv != nil {
+		e.inv.checkClock(now)
+		m := e.cfg.Store.Meters()
+		e.inv.checkConservation(now, e.cfg.Store.ConservationError(e.initialLevel), e.initialLevel+m.Stored)
+	}
 	e.cfg.Predictor.Observe(now-1, e.cfg.Source.PowerAt(now-1))
 	if s := e.res.EnergySeries; s != nil {
 		k := int(math.Round(now))
@@ -510,22 +637,32 @@ func (e *engine) onDecide(now float64) {
 		panic(fmt.Sprintf("sim: policy %s scheduled a finished job", e.cfg.Policy.Name()))
 	}
 
+	// The DVFS fault may refuse the requested transition (stuck
+	// frequency): the processor then keeps its latched operating point
+	// and the clamp is recorded as degradation, not an error. Fault-free
+	// runs keep the strict path, where an out-of-range level panics as an
+	// engine/policy bug.
+	level := d.Level
+	if e.faults != nil {
+		level = e.cfg.CPU.ClampLevel(e.faults.DVFSLevel(now, e.lastRunLv, e.cfg.CPU.ClampLevel(level)))
+	}
+
 	ps := e.cfg.Source.PowerAt(now)
-	pc := e.cfg.CPU.Power(d.Level)
+	pc := e.cfg.CPU.Power(level)
 	sustain := e.cfg.Store.TimeToEmpty(ps, pc)
 	if sustain < stallEps {
 		// §4.2: no available energy — the system stops until conditions
 		// change (next unit boundary or arrival re-decides).
 		wasStalled := e.mode == ModeStall && e.running == d.Job
-		e.setActivity(now, ModeStall, d.Job, d.Level)
+		e.setActivity(now, ModeStall, d.Job, level)
 		if !wasStalled {
 			e.emit(now, "stall", d.Job)
 		}
 		return
 	}
 
-	e.setActivity(now, ModeRun, d.Job, d.Level)
-	completion := now + d.Job.ActualRemaining()/e.cfg.CPU.Speed(d.Level)
+	e.setActivity(now, ModeRun, d.Job, level)
+	completion := now + d.Job.ActualRemaining()/e.cfg.CPU.Speed(level)
 	e.scheduleSegmentEnd(now, completion, math.Min(d.Until, now+sustain))
 }
 

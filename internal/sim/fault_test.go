@@ -1,0 +1,280 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/eadvfs/eadvfs/internal/core"
+	"github.com/eadvfs/eadvfs/internal/cpu"
+	"github.com/eadvfs/eadvfs/internal/energy"
+	"github.com/eadvfs/eadvfs/internal/fault"
+	"github.com/eadvfs/eadvfs/internal/metrics"
+	"github.com/eadvfs/eadvfs/internal/storage"
+	"github.com/eadvfs/eadvfs/internal/task"
+)
+
+// faultTestConfig is a periodic workload long enough for dense fault
+// windows to strike many times, with the invariant checker armed.
+func faultTestConfig() *Config {
+	src := energy.NewSolarModel(7)
+	return &Config{
+		Horizon: 600,
+		Tasks: []task.Task{
+			{ID: 1, Period: 20, Deadline: 20, WCET: 3},
+			{ID: 2, Period: 30, Deadline: 30, WCET: 4},
+			{ID: 3, Period: 50, Deadline: 50, WCET: 6},
+		},
+		Source:          src,
+		Predictor:       energy.NewEWMA(0.2),
+		Store:           storage.New(300, 300),
+		CPU:             cpu.XScaleScaled(10),
+		Policy:          core.NewEADVFS(),
+		CheckInvariants: true,
+		MaxEvents:       1_000_000,
+	}
+}
+
+// Each fault type, injected alone, must complete without panic, with
+// clean invariants (the fault layer degrades the run, it does not break
+// the physics) and with its own degradation counters moving.
+func TestEachFaultTypeDegradesGracefully(t *testing.T) {
+	dense := fault.WindowSpec{MeanGap: 15, MeanLen: 5}
+	cases := []struct {
+		name  string
+		spec  fault.Spec
+		check func(t *testing.T, d metrics.Degradation)
+	}{
+		{
+			name: "harvester-dropout",
+			spec: fault.Spec{Seed: 3, Dropout: dense, DropFactor: 0.1},
+			check: func(t *testing.T, d metrics.Degradation) {
+				if d.SourceFaultTime <= 0 {
+					t.Fatalf("no dropout time: %+v", d)
+				}
+			},
+		},
+		{
+			name: "storage-fade",
+			spec: fault.Spec{Seed: 3, FadeRate: 2e-3, FadeLimit: 0.5},
+			check: func(t *testing.T, d metrics.Degradation) {
+				if d.FadeEnergy <= 0 {
+					t.Fatalf("no fade loss: %+v", d)
+				}
+			},
+		},
+		{
+			name: "leakage-spike",
+			spec: fault.Spec{Seed: 3, LeakSpike: dense, LeakSpikeRate: 1.5},
+			check: func(t *testing.T, d metrics.Degradation) {
+				if d.LeakSpikeTime <= 0 || d.LeakSpikeEnergy <= 0 {
+					t.Fatalf("no spike loss: %+v", d)
+				}
+			},
+		},
+		{
+			name: "dvfs-stuck",
+			spec: fault.Spec{Seed: 3, DVFSStuck: dense},
+			check: func(t *testing.T, d metrics.Degradation) {
+				if d.DVFSStuckTime <= 0 {
+					t.Fatalf("no stuck time: %+v", d)
+				}
+			},
+		},
+		{
+			name: "predictor-blackout",
+			spec: fault.Spec{Seed: 3, Blackout: dense},
+			check: func(t *testing.T, d metrics.Degradation) {
+				if d.BlackoutTime <= 0 || d.StaleForecasts <= 0 {
+					t.Fatalf("no blackout effect: %+v", d)
+				}
+			},
+		},
+		{
+			name: "job-overrun",
+			spec: fault.Spec{Seed: 3, OverrunProb: 0.6, OverrunMax: 0.5},
+			check: func(t *testing.T, d metrics.Degradation) {
+				if d.Overruns <= 0 || d.OverrunWork <= 0 {
+					t.Fatalf("no overruns: %+v", d)
+				}
+			},
+		},
+		{
+			name: "all-at-intensity-1",
+			spec: fault.AtIntensity(3, 1),
+			check: func(t *testing.T, d metrics.Degradation) {
+				if !d.Any() {
+					t.Fatalf("hostile substrate recorded nothing: %+v", d)
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := faultTestConfig()
+			cfg.Faults = &tc.spec
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("faulted run not clean: %v", err)
+			}
+			if res.Miss.Released == 0 {
+				t.Fatal("no jobs released")
+			}
+			tc.check(t, res.Degradation)
+		})
+	}
+}
+
+// A nil fault spec and a zero fault spec must both be bit-identical to the
+// fault-free run — the fault layer is inert until explicitly enabled.
+func TestZeroFaultSpecBitIdentical(t *testing.T) {
+	base, err := Run(faultTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range []fault.Spec{{}, fault.AtIntensity(99, 0)} {
+		spec := spec
+		cfg := faultTestConfig()
+		cfg.Faults = &spec
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Miss != base.Miss {
+			t.Fatalf("zero-spec run diverged: %+v vs %+v", res.Miss, base.Miss)
+		}
+		if res.ConservationErr != base.ConservationErr || res.Degradation.Any() {
+			t.Fatalf("zero-spec run not inert: cons %v vs %v, deg %+v",
+				res.ConservationErr, base.ConservationErr, res.Degradation)
+		}
+	}
+}
+
+// Same master seed → identical outcome, run after run: the whole fault
+// schedule is a function of the seed, not of event ordering.
+func TestFaultedRunReproducible(t *testing.T) {
+	run := func() *Result {
+		cfg := faultTestConfig()
+		spec := fault.AtIntensity(5, 0.8)
+		cfg.Faults = &spec
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Miss != b.Miss {
+		t.Fatalf("miss stats diverged: %+v vs %+v", a.Miss, b.Miss)
+	}
+	if a.Degradation != b.Degradation {
+		t.Fatalf("degradation diverged: %+v vs %+v", a.Degradation, b.Degradation)
+	}
+	if a.ConservationErr != b.ConservationErr {
+		t.Fatalf("conservation diverged: %v vs %v", a.ConservationErr, b.ConservationErr)
+	}
+}
+
+// corruptStore is a deliberately buggy reservoir: it siphons energy from
+// the level without metering the loss, so its balance cannot close. The
+// invariant checker must catch exactly this class of bug.
+type corruptStore struct {
+	cap, level    float64
+	stored, drawn float64
+}
+
+func (c *corruptStore) Capacity() float64 { return c.cap }
+func (c *corruptStore) Level() float64    { return c.level }
+
+func (c *corruptStore) TimeToEmpty(ps, pc float64) float64 {
+	net := pc - ps
+	if net <= 0 || c.level <= 0 {
+		if c.level <= 0 && net > 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return c.level / net
+}
+
+func (c *corruptStore) Flow(ps, pc, dt float64) (delivered, overflow float64) {
+	c.level += (ps - pc) * dt
+	c.stored += ps * dt
+	c.drawn += pc * dt
+	c.level -= 0.05 * dt // the bug: unmetered self-discharge
+	if c.level > c.cap {
+		overflow = c.level - c.cap
+		c.level = c.cap
+		c.stored -= overflow
+	}
+	if c.level < 0 {
+		c.level = 0
+	}
+	return pc * dt, overflow
+}
+
+func (c *corruptStore) Draw(e float64) float64 {
+	d := math.Min(e, c.level)
+	c.level -= d
+	c.drawn += d
+	return d
+}
+
+func (c *corruptStore) Meters() storage.Meters {
+	return storage.Meters{Stored: c.stored, Drawn: c.drawn}
+}
+
+func (c *corruptStore) ConservationError(initial float64) float64 {
+	return initial + c.stored - c.drawn - c.level
+}
+
+// The checker is clean on a correct fault-free run and reports a
+// structured conservation violation on the corrupted store, instead of
+// panicking mid-run.
+func TestInvariantChecker(t *testing.T) {
+	if _, err := Run(faultTestConfig()); err != nil {
+		t.Fatalf("clean run flagged: %v", err)
+	}
+
+	cfg := faultTestConfig()
+	cfg.Store = &corruptStore{cap: 1e6, level: 300}
+	res, err := Run(cfg)
+	var ie *InvariantError
+	if !errors.As(err, &ie) {
+		t.Fatalf("corrupted store not caught: %v", err)
+	}
+	if res == nil {
+		t.Fatal("result withheld alongside the invariant error")
+	}
+	found := false
+	for _, v := range ie.Violations {
+		if v.Kind == "conservation" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no conservation violation among %v", ie.Violations)
+	}
+	if ie.Error() == "" {
+		t.Fatal("empty error text")
+	}
+}
+
+// The event-budget watchdog converts a too-long run into a structured
+// error instead of a hung worker.
+func TestEventBudgetWatchdog(t *testing.T) {
+	cfg := faultTestConfig()
+	cfg.MaxEvents = 10
+	res, err := Run(cfg)
+	var be *EventBudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("got %v, want *EventBudgetError", err)
+	}
+	if res != nil {
+		t.Fatal("aborted run still produced a result")
+	}
+	if be.Events < 10 || be.Horizon != 600 {
+		t.Fatalf("unhelpful watchdog report: %+v", be)
+	}
+}

@@ -64,7 +64,7 @@ type Job struct {
 	WCET    float64 // wm, work at f_max
 
 	remaining float64 // budget (WCET-based) work left, at f_max
-	actual    float64 // true work left, at f_max; actual <= remaining
+	actual    float64 // true work left, at f_max; exceeds remaining only under an injected overrun
 	finished  bool
 	missed    bool
 }
@@ -101,6 +101,30 @@ func (j *Job) SetActualWork(work float64) {
 		j.finished = true
 	}
 }
+
+// SetOverrunWork declares that the job will really take work units, which
+// MAY exceed the declared WCET — the fault-injection scenario in which
+// the WCET was wrong (internal/fault). Schedulers keep budgeting the
+// declared WCET; the engine executes the true work, so an overrunning job
+// occupies the processor past its budget and deadlines suffer
+// accordingly. Must be called before execution starts.
+func (j *Job) SetOverrunWork(work float64) {
+	if work < 0 || math.IsNaN(work) || math.IsInf(work, 0) {
+		panic(fmt.Sprintf("task: invalid overrun work %v", work))
+	}
+	if j.remaining != j.WCET {
+		panic("task: SetOverrunWork after execution started")
+	}
+	j.actual = work
+	if work == 0 {
+		j.finished = true
+	}
+}
+
+// Overrun returns how much outstanding actual work exceeds the
+// outstanding budgeted work (0 for a well-declared job). Before execution
+// starts this is the amount by which the job will overrun its WCET.
+func (j *Job) Overrun() float64 { return math.Max(0, j.actual-j.remaining) }
 
 // Remaining returns the outstanding *budgeted* work at f_max — what the
 // scheduler plans with.
