@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"github.com/eadvfs/eadvfs"
+	"github.com/eadvfs/eadvfs/internal/bench"
 	"github.com/eadvfs/eadvfs/internal/core"
 	"github.com/eadvfs/eadvfs/internal/cpu"
 	"github.com/eadvfs/eadvfs/internal/energy"
@@ -31,88 +32,48 @@ func benchSpec() experiment.Spec {
 	return s
 }
 
-// BenchmarkFig5EnergySource regenerates Figure 5: a 10 000-unit sample
-// path of the eq. (13) solar source.
-func BenchmarkFig5EnergySource(b *testing.B) {
-	var mean float64
-	for i := 0; i < b.N; i++ {
-		s := experiment.SourceTrace(uint64(i+1), 10000)
-		mean = s.Mean()
+// runCase runs a shared internal/bench workload b.N times and reports
+// its shape metrics. The figure benches delegate there so that `go test
+// -bench` and cmd/eabench (which writes BENCH_baseline.json) measure the
+// same code with the same sizing.
+func runCase(b *testing.B, name string) {
+	b.Helper()
+	c, err := bench.Find(name)
+	if err != nil {
+		b.Fatal(err)
 	}
-	b.ReportMetric(mean, "power/mean")
+	metrics, err := c.Run(b.N)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for unit, v := range metrics {
+		b.ReportMetric(v, unit)
+	}
 }
 
-func benchRemaining(b *testing.B, u float64) {
-	spec := benchSpec()
-	spec.Utilization = u
-	var ea, lsa float64
-	for i := 0; i < b.N; i++ {
-		res, err := experiment.RemainingEnergy(spec, []string{"lsa", "ea-dvfs"})
-		if err != nil {
-			b.Fatal(err)
-		}
-		ea = res.Curves["ea-dvfs"].Mean()
-		lsa = res.Curves["lsa"].Mean()
-	}
-	b.ReportMetric(ea, "energy/ea-dvfs")
-	b.ReportMetric(lsa, "energy/lsa")
-}
+// BenchmarkFig5EnergySource regenerates Figure 5: a 10 000-unit sample
+// path of the eq. (13) solar source.
+func BenchmarkFig5EnergySource(b *testing.B) { runCase(b, "Fig5EnergySource") }
 
 // BenchmarkFig6RemainingEnergyLowU regenerates Figure 6 (U = 0.4):
 // EA-DVFS stores clearly more energy than LSA.
-func BenchmarkFig6RemainingEnergyLowU(b *testing.B) { benchRemaining(b, 0.4) }
+func BenchmarkFig6RemainingEnergyLowU(b *testing.B) { runCase(b, "Fig6RemainingEnergyLowU") }
 
 // BenchmarkFig7RemainingEnergyHighU regenerates Figure 7 (U = 0.8): the
 // curves nearly coincide.
-func BenchmarkFig7RemainingEnergyHighU(b *testing.B) { benchRemaining(b, 0.8) }
-
-func benchMissRate(b *testing.B, u float64) {
-	spec := benchSpec()
-	spec.Replications = 3
-	spec.Utilization = u
-	spec.Capacities = []float64{50, 200, 1000, 5000}
-	var res *experiment.MissRateResult
-	for i := 0; i < b.N; i++ {
-		var err error
-		res, err = experiment.MissRateSweep(spec, []string{"lsa", "ea-dvfs"})
-		if err != nil {
-			b.Fatal(err)
-		}
-	}
-	last := len(res.Capacities) - 1
-	b.ReportMetric(res.Rates["lsa"][0], "missrate/lsa-small")
-	b.ReportMetric(res.Rates["ea-dvfs"][0], "missrate/ea-small")
-	b.ReportMetric(res.Rates["lsa"][last], "missrate/lsa-large")
-	b.ReportMetric(res.Rates["ea-dvfs"][last], "missrate/ea-large")
-}
+func BenchmarkFig7RemainingEnergyHighU(b *testing.B) { runCase(b, "Fig7RemainingEnergyHighU") }
 
 // BenchmarkFig8MissRateLowU regenerates Figure 8 (U = 0.4): EA-DVFS cuts
 // the deadline miss rate by >50% across the capacity sweep.
-func BenchmarkFig8MissRateLowU(b *testing.B) { benchMissRate(b, 0.4) }
+func BenchmarkFig8MissRateLowU(b *testing.B) { runCase(b, "Fig8MissRateLowU") }
 
 // BenchmarkFig9MissRateHighU regenerates Figure 9 (U = 0.8): the policies
 // converge.
-func BenchmarkFig9MissRateHighU(b *testing.B) { benchMissRate(b, 0.8) }
+func BenchmarkFig9MissRateHighU(b *testing.B) { runCase(b, "Fig9MissRateHighU") }
 
 // BenchmarkTable1MinCapacityRatio regenerates Table 1: the
 // Cmin-LSA / Cmin-EA-DVFS ratio per utilization, shrinking toward 1.
-func BenchmarkTable1MinCapacityRatio(b *testing.B) {
-	spec := benchSpec()
-	spec.Horizon = 5000 // bisection is ~20 runs per (rep, policy, U)
-	utils := []float64{0.2, 0.4, 0.6, 0.8}
-	var res *experiment.MinCapacityResult
-	for i := 0; i < b.N; i++ {
-		var err error
-		res, err = experiment.MinCapacity(spec, utils, []string{"lsa", "ea-dvfs"})
-		if err != nil {
-			b.Fatal(err)
-		}
-	}
-	b.ReportMetric(res.Ratio[0], "ratio/u0.2")
-	b.ReportMetric(res.Ratio[1], "ratio/u0.4")
-	b.ReportMetric(res.Ratio[2], "ratio/u0.6")
-	b.ReportMetric(res.Ratio[3], "ratio/u0.8")
-}
+func BenchmarkTable1MinCapacityRatio(b *testing.B) { runCase(b, "Table1MinCapacityRatio") }
 
 // BenchmarkAblationS2Lock compares the paper's locked-s2 EA-DVFS with the
 // stateless-recompute variant (DESIGN.md §2.1): the lock is what preserves
@@ -177,33 +138,9 @@ func BenchmarkAblationPredictors(b *testing.B) {
 }
 
 // BenchmarkEngine measures raw simulation throughput: one 10 000-unit
-// EA-DVFS run of the paper's default workload.
-func BenchmarkEngine(b *testing.B) {
-	spec := benchSpec()
-	rep, err := experiment.Replicate(spec, 0)
-	if err != nil {
-		b.Fatal(err)
-	}
-	var events uint64
-	for i := 0; i < b.N; i++ {
-		src := energy.NewSolarModel(rep.SourceSeed)
-		cfg := &sim.Config{
-			Horizon:   spec.Horizon,
-			Tasks:     rep.Tasks,
-			Source:    src,
-			Predictor: energy.NewEWMA(0.2),
-			Store:     storage.NewIdeal(500),
-			CPU:       spec.Processor(),
-			Policy:    core.NewEADVFS(),
-		}
-		res, err := sim.Run(cfg)
-		if err != nil {
-			b.Fatal(err)
-		}
-		events = res.Events
-	}
-	b.ReportMetric(float64(events), "events/run")
-}
+// EA-DVFS run of the paper's default workload (memoized solar trace, so
+// the bench isolates the engine rather than trace regeneration).
+func BenchmarkEngine(b *testing.B) { runCase(b, "Engine") }
 
 // BenchmarkComputePlan measures the per-decision cost of the EA-DVFS
 // arithmetic (eqs. 5–9), the hot path of the scheduler.

@@ -1,0 +1,177 @@
+// Command eabench runs the repository's canonical benchmark workloads
+// (internal/bench — the same cases `go test -bench` runs) with a
+// self-contained measurement loop and emits both:
+//
+//   - Go benchmark format on stdout (benchstat-compatible), and
+//   - a machine-readable JSON report (-json), the format of the checked-in
+//     BENCH_baseline.json at the repo root.
+//
+// Each case reports ns/op, allocs/op, B/op and the experiment's shape
+// metrics (missrate/*, energy/*, ratio/*, …). The shape metrics are the
+// regression guard: an "optimization" that moves them changed the science,
+// not just the speed. See DESIGN.md §9 for the regeneration workflow.
+//
+// Usage:
+//
+//	eabench [-bench regexp] [-count 1] [-benchtime 1] [-json out.json]
+//	        [-cpuprofile cpu.out] [-memprofile mem.out]
+//
+// Examples:
+//
+//	eabench -count 5 | tee new.txt && benchstat old.txt new.txt
+//	eabench -json BENCH_baseline.json
+//	eabench -bench Engine -benchtime 20 -cpuprofile cpu.out
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"time"
+
+	"github.com/eadvfs/eadvfs/internal/bench"
+	"github.com/eadvfs/eadvfs/internal/profiling"
+)
+
+// caseReport is one measurement of one case (the JSON schema).
+type caseReport struct {
+	Name       string             `json:"name"`
+	Iterations int                `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	AllocsOp   float64            `json:"allocs_per_op"`
+	BytesOp    float64            `json:"bytes_per_op"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+type report struct {
+	GoVersion string       `json:"go_version"`
+	GOOS      string       `json:"goos"`
+	GOARCH    string       `json:"goarch"`
+	Count     int          `json:"count"`
+	Benchtime int          `json:"benchtime_iterations"`
+	Cases     []caseReport `json:"cases"`
+}
+
+func main() {
+	var (
+		benchRe    = flag.String("bench", ".", "regexp selecting which cases to run")
+		count      = flag.Int("count", 1, "measurements per case (use >1 for benchstat input)")
+		benchtime  = flag.Int("benchtime", 1, "iterations per measurement (fixed, not adaptive: the workloads are deterministic)")
+		jsonPath   = flag.String("json", "", "write the JSON report (last measurement per case) to this file")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
+		memprofile = flag.String("memprofile", "", "write an allocation profile taken after the run to this file")
+	)
+	flag.Parse()
+
+	re, err := regexp.Compile(*benchRe)
+	if err != nil {
+		fatalf("eabench: bad -bench regexp: %v", err)
+	}
+	if *count < 1 || *benchtime < 1 {
+		fatalf("eabench: -count and -benchtime must be >= 1")
+	}
+
+	stopCPU, err := profiling.StartCPU(*cpuprofile)
+	if err != nil {
+		fatalf("eabench: %v", err)
+	}
+	defer stopCPU()
+
+	rep := report{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Count:     *count,
+		Benchtime: *benchtime,
+	}
+
+	// Header lines benchstat uses to group results.
+	fmt.Printf("goos: %s\ngoarch: %s\npkg: github.com/eadvfs/eadvfs/internal/bench\n", rep.GOOS, rep.GOARCH)
+
+	ran := 0
+	for _, c := range bench.Cases() {
+		if !re.MatchString(c.Name) {
+			continue
+		}
+		ran++
+		var last caseReport
+		for m := 0; m < *count; m++ {
+			r, err := measure(c, *benchtime)
+			if err != nil {
+				fatalf("eabench: %s: %v", c.Name, err)
+			}
+			printGoBench(r)
+			last = r
+		}
+		rep.Cases = append(rep.Cases, last)
+	}
+	if ran == 0 {
+		fatalf("eabench: no cases match -bench %q", *benchRe)
+	}
+
+	if *jsonPath != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatalf("eabench: %v", err)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*jsonPath, buf, 0o644); err != nil {
+			fatalf("eabench: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "eabench: wrote %s\n", *jsonPath)
+	}
+
+	if err := profiling.WriteHeap(*memprofile); err != nil {
+		fatalf("eabench: %v", err)
+	}
+}
+
+// measure runs one case for n iterations between two ReadMemStats
+// snapshots. testing.Benchmark would adapt b.N toward a time budget; a
+// fixed iteration count keeps runs short and — because every workload is
+// seed-deterministic — still exactly reproducible.
+func measure(c bench.Case, n int) (caseReport, error) {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	metrics, err := c.Run(n)
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return caseReport{}, err
+	}
+	return caseReport{
+		Name:       c.Name,
+		Iterations: n,
+		NsPerOp:    float64(elapsed.Nanoseconds()) / float64(n),
+		AllocsOp:   float64(after.Mallocs-before.Mallocs) / float64(n),
+		BytesOp:    float64(after.TotalAlloc-before.TotalAlloc) / float64(n),
+		Metrics:    metrics,
+	}, nil
+}
+
+// printGoBench emits one measurement in Go benchmark format, shape
+// metrics included, so benchstat can diff any of them across runs.
+func printGoBench(r caseReport) {
+	fmt.Printf("Benchmark%s %8d %12.0f ns/op %12.0f B/op %9.0f allocs/op",
+		r.Name, r.Iterations, r.NsPerOp, r.BytesOp, r.AllocsOp)
+	units := make([]string, 0, len(r.Metrics))
+	for u := range r.Metrics {
+		units = append(units, u)
+	}
+	sort.Strings(units)
+	for _, u := range units {
+		fmt.Printf(" %g %s", r.Metrics[u], u)
+	}
+	fmt.Println()
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

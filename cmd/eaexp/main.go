@@ -30,6 +30,7 @@ import (
 	"github.com/eadvfs/eadvfs/internal/experiment"
 	"github.com/eadvfs/eadvfs/internal/metrics"
 	"github.com/eadvfs/eadvfs/internal/plot"
+	"github.com/eadvfs/eadvfs/internal/profiling"
 )
 
 func main() {
@@ -48,8 +49,23 @@ func main() {
 		faultSeed   = flag.Uint64("fault-seed", 1, "master fault-schedule seed")
 		capacity    = flag.Float64("capacity", 1000, "storage capacity of the robustness sweep")
 		policies    = flag.String("policies", "edf,lsa,ea-dvfs", "comma-separated policies of the robustness sweep")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprofile = flag.String("memprofile", "", "write an allocation profile taken after the run to this file")
 	)
 	flag.Parse()
+
+	stopCPU, err := profiling.StartCPU(*cpuprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "eaexp:", err)
+		os.Exit(1)
+	}
+	defer stopCPU()
+	defer func() {
+		if err := profiling.WriteHeap(*memprofile); err != nil {
+			fmt.Fprintln(os.Stderr, "eaexp:", err)
+		}
+	}()
 
 	spec := experiment.DefaultSpec()
 	spec.Seed = *seed

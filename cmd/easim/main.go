@@ -24,6 +24,7 @@ import (
 	"github.com/eadvfs/eadvfs/internal/analysis"
 	"github.com/eadvfs/eadvfs/internal/energy"
 	"github.com/eadvfs/eadvfs/internal/experiment"
+	"github.com/eadvfs/eadvfs/internal/profiling"
 )
 
 func main() {
@@ -39,11 +40,25 @@ func main() {
 		energyF   = flag.Bool("energy", false, "print the stored-energy trace statistics")
 		analyze   = flag.Bool("analyze", false, "print the analytic feasibility report for the workload")
 		jsonF     = flag.Bool("json", false, "emit the result as JSON")
-		faultX    = flag.Float64("fault-intensity", 0, "mixed-fault model intensity in (0, 1]; 0 disables")
-		faultSeed = flag.Uint64("fault-seed", 1, "fault schedule seed")
-		check     = flag.Bool("check", false, "arm the runtime invariant checker")
+		faultX     = flag.Float64("fault-intensity", 0, "mixed-fault model intensity in (0, 1]; 0 disables")
+		faultSeed  = flag.Uint64("fault-seed", 1, "fault schedule seed")
+		check      = flag.Bool("check", false, "arm the runtime invariant checker")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprofile = flag.String("memprofile", "", "write an allocation profile taken after the run to this file")
 	)
 	flag.Parse()
+
+	stopCPU, err := profiling.StartCPU(*cpuprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "easim:", err)
+		os.Exit(1)
+	}
+	defer stopCPU()
+	defer func() {
+		if err := profiling.WriteHeap(*memprofile); err != nil {
+			fmt.Fprintln(os.Stderr, "easim:", err)
+		}
+	}()
 
 	res, err := eadvfs.Run(eadvfs.Config{
 		Horizon:         *horizon,

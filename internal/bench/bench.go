@@ -1,0 +1,157 @@
+// Package bench defines the repository's canonical experiment-level
+// benchmark workloads in one place, so that `go test -bench` (bench_test.go
+// delegates here) and the standalone cmd/eabench harness measure exactly
+// the same code paths and report exactly the same shape metrics.
+//
+// Each Case runs a figure/table regeneration (or a raw engine run) n times
+// and returns the shape metrics of the last execution — miss rates,
+// normalized remaining energy, capacity ratios. A perf change that also
+// moves a shape metric is a correctness regression, not an optimization;
+// BENCH_baseline.json (repo root) records the reference values and
+// DESIGN.md §9 documents how to regenerate it.
+package bench
+
+import (
+	"fmt"
+
+	"github.com/eadvfs/eadvfs/internal/core"
+	"github.com/eadvfs/eadvfs/internal/energy"
+	"github.com/eadvfs/eadvfs/internal/experiment"
+	"github.com/eadvfs/eadvfs/internal/sim"
+	"github.com/eadvfs/eadvfs/internal/storage"
+)
+
+// Case is one benchmark workload.
+type Case struct {
+	Name string
+	// Run executes the workload n times and returns the shape metrics of
+	// the last execution.
+	Run func(n int) (map[string]float64, error)
+}
+
+// spec returns the experiment spec sized for benchmarking (the historical
+// bench_test.go sizing — changing it invalidates BENCH_baseline.json).
+func spec() experiment.Spec {
+	s := experiment.DefaultSpec()
+	s.Replications = 2
+	return s
+}
+
+// Cases returns every benchmark workload, in reporting order.
+func Cases() []Case {
+	return []Case{
+		{Name: "Fig5EnergySource", Run: runFig5},
+		{Name: "Fig6RemainingEnergyLowU", Run: remaining(0.4)},
+		{Name: "Fig7RemainingEnergyHighU", Run: remaining(0.8)},
+		{Name: "Fig8MissRateLowU", Run: missRate(0.4)},
+		{Name: "Fig9MissRateHighU", Run: missRate(0.8)},
+		{Name: "Table1MinCapacityRatio", Run: runTable1},
+		{Name: "Engine", Run: runEngine},
+	}
+}
+
+// Find returns the named case.
+func Find(name string) (Case, error) {
+	for _, c := range Cases() {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return Case{}, fmt.Errorf("bench: unknown case %q", name)
+}
+
+func runFig5(n int) (map[string]float64, error) {
+	var mean float64
+	for i := 0; i < n; i++ {
+		s := experiment.SourceTrace(uint64(i+1), 10000)
+		mean = s.Mean()
+	}
+	return map[string]float64{"power/mean": mean}, nil
+}
+
+func remaining(u float64) func(int) (map[string]float64, error) {
+	return func(n int) (map[string]float64, error) {
+		s := spec()
+		s.Utilization = u
+		var ea, lsa float64
+		for i := 0; i < n; i++ {
+			res, err := experiment.RemainingEnergy(s, []string{"lsa", "ea-dvfs"})
+			if err != nil {
+				return nil, err
+			}
+			ea = res.Curves["ea-dvfs"].Mean()
+			lsa = res.Curves["lsa"].Mean()
+		}
+		return map[string]float64{"energy/ea-dvfs": ea, "energy/lsa": lsa}, nil
+	}
+}
+
+func missRate(u float64) func(int) (map[string]float64, error) {
+	return func(n int) (map[string]float64, error) {
+		s := spec()
+		s.Replications = 3
+		s.Utilization = u
+		s.Capacities = []float64{50, 200, 1000, 5000}
+		var res *experiment.MissRateResult
+		for i := 0; i < n; i++ {
+			var err error
+			res, err = experiment.MissRateSweep(s, []string{"lsa", "ea-dvfs"})
+			if err != nil {
+				return nil, err
+			}
+		}
+		last := len(res.Capacities) - 1
+		return map[string]float64{
+			"missrate/lsa-small": res.Rates["lsa"][0],
+			"missrate/ea-small":  res.Rates["ea-dvfs"][0],
+			"missrate/lsa-large": res.Rates["lsa"][last],
+			"missrate/ea-large":  res.Rates["ea-dvfs"][last],
+		}, nil
+	}
+}
+
+func runTable1(n int) (map[string]float64, error) {
+	s := spec()
+	s.Horizon = 5000 // bisection is ~20 runs per (rep, policy, U)
+	utils := []float64{0.2, 0.4, 0.6, 0.8}
+	var res *experiment.MinCapacityResult
+	for i := 0; i < n; i++ {
+		var err error
+		res, err = experiment.MinCapacity(s, utils, []string{"lsa", "ea-dvfs"})
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := make(map[string]float64, len(utils))
+	for i, u := range utils {
+		out[fmt.Sprintf("ratio/u%g", u)] = res.Ratio[i]
+	}
+	return out, nil
+}
+
+func runEngine(n int) (map[string]float64, error) {
+	s := spec()
+	rep, err := experiment.Replicate(s, 0)
+	if err != nil {
+		return nil, err
+	}
+	rep.PrepareSource(s.Horizon)
+	var events uint64
+	for i := 0; i < n; i++ {
+		cfg := &sim.Config{
+			Horizon:   s.Horizon,
+			Tasks:     rep.Tasks,
+			Source:    rep.Source(),
+			Predictor: energy.NewEWMA(0.2),
+			Store:     storage.NewIdeal(500),
+			CPU:       s.Processor(),
+			Policy:    core.NewEADVFS(),
+		}
+		res, err := sim.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		events = res.Events
+	}
+	return map[string]float64{"events/run": float64(events)}, nil
+}

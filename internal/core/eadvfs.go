@@ -17,7 +17,6 @@ import (
 
 	"github.com/eadvfs/eadvfs/internal/cpu"
 	"github.com/eadvfs/eadvfs/internal/sched"
-	"github.com/eadvfs/eadvfs/internal/task"
 )
 
 // Plan is the result of the EA-DVFS §4 computation for one job at one
@@ -98,18 +97,20 @@ type EADVFS struct {
 	// Dynamic recomputes s2 at every decision instead of locking it at
 	// stretch start. Only for the ablation study; see above.
 	Dynamic bool
-
-	s2lock map[*task.Job]float64
 }
+
+// The lock itself lives on the job (task.Job.LockS2 and friends): a job
+// belongs to exactly one run, so a job-resident slot replaces the former
+// map[*task.Job]float64 and keeps the decision path allocation-free.
 
 // NewEADVFS returns the paper's EA-DVFS policy (locked s2).
 func NewEADVFS() *EADVFS {
-	return &EADVFS{s2lock: make(map[*task.Job]float64)}
+	return &EADVFS{}
 }
 
 // NewDynamicEADVFS returns the stateless-recompute ablation variant.
 func NewDynamicEADVFS() *EADVFS {
-	return &EADVFS{Dynamic: true, s2lock: make(map[*task.Job]float64)}
+	return &EADVFS{Dynamic: true}
 }
 
 // Name implements sched.Policy.
@@ -149,13 +150,13 @@ func (p *EADVFS) Decide(ctx *sched.Context) sched.Decision {
 		// Figure 4 line 5: sufficient energy → maximum frequency. A
 		// pending lock is obsolete: running at full speed can only help
 		// future tasks.
-		delete(p.s2lock, j)
+		j.ClearS2Lock()
 		return sched.Run(j, ctx.CPU.MaxLevel(), math.Inf(1))
 	}
 
 	s2 := plan.S2
 	if !p.Dynamic {
-		if locked, ok := p.s2lock[j]; ok {
+		if locked, ok := j.S2Lock(); ok {
 			s2 = locked
 		}
 	}
@@ -172,8 +173,8 @@ func (p *EADVFS) Decide(ctx *sched.Context) sched.Decision {
 	// Figure 4 line 8: stretched execution at the minimum feasible
 	// frequency on [s1, s2). Lock s2 on first stretch (see type comment).
 	if !p.Dynamic {
-		if _, ok := p.s2lock[j]; !ok {
-			p.s2lock[j] = s2
+		if _, ok := j.S2Lock(); !ok {
+			j.LockS2(s2)
 		}
 	}
 	return sched.Run(j, plan.Level, s2)

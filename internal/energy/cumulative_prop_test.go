@@ -1,0 +1,154 @@
+// Property tests pinning the prefix-sum energy caches to the naive
+// unit-walk reference. External test package so the faulted sources from
+// internal/fault (which imports energy) can be exercised too.
+package energy_test
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/eadvfs/eadvfs/internal/energy"
+	"github.com/eadvfs/eadvfs/internal/fault"
+)
+
+// opaque hides any Cumulative implementation of the wrapped source (only
+// Source's method set is promoted), forcing energy.Energy down the naive
+// unit-walk path. It is the reference implementation in these tests.
+type opaque struct{ energy.Source }
+
+func naive(src energy.Source, t1, t2 float64) float64 {
+	return energy.Energy(opaque{src}, t1, t2)
+}
+
+// propSources returns one instance of every source shape the repo ships:
+// solar (native Cumulative), constant, two-mode, trace, scaled, summed,
+// Markov weather, and a fault-injected dropout wrapper.
+func propSources(t *testing.T) map[string]energy.Source {
+	t.Helper()
+	solar := energy.NewSolarModel(7)
+	trace := energy.NewTrace("tr", []float64{0, 1.5, 3, 0.25, 2, 0, 0, 4})
+	set, err := fault.New(fault.Spec{
+		Seed:       11,
+		Dropout:    fault.WindowSpec{MeanGap: 13, MeanLen: 5},
+		DropFactor: 0.25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]energy.Source{
+		"solar":    solar,
+		"constant": energy.NewConstant(2.5),
+		"two-mode": energy.NewTwoMode(5, 0.5, 24, 10),
+		"trace":    trace,
+		"scaled":   energy.NewScaled(energy.NewSolarModel(9), 0.6),
+		"summed":   energy.NewSum(energy.NewConstant(1), energy.NewTwoMode(3, 0, 10, 4)),
+		"markov":   energy.NewMarkovWeather(energy.NewSolarModel(3), 21, 40, 15, 0.3),
+		"faulted":  set.WrapSource(energy.NewSolarModel(5)),
+	}
+}
+
+// TestCumulativeBitEqualFromZero: for every source, the cached prefix sum
+// at integer instants is bit-identical (==, no tolerance) to the naive
+// left-to-right walk from 0 — the caches accumulate in exactly that order.
+func TestCumulativeBitEqualFromZero(t *testing.T) {
+	for name, src := range propSources(t) {
+		cum := energy.AsCumulative(src)
+		for k := 0; k <= 300; k++ {
+			tt := float64(k)
+			got := cum.CumulativeEnergy(tt)
+			want := naive(src, 0, tt)
+			if got != want {
+				t.Fatalf("%s: CumulativeEnergy(%v) = %v, naive = %v (diff %g)",
+					name, tt, got, want, got-want)
+			}
+		}
+	}
+}
+
+// TestCumulativeIntervalProperty: arbitrary (possibly fractional)
+// intervals through the Energy fast path agree with the naive walk from
+// t1 within floating-point cancellation tolerance, and are never negative.
+func TestCumulativeIntervalProperty(t *testing.T) {
+	for name, src := range propSources(t) {
+		cum := energy.AsCumulative(src)
+		f := func(a, b uint16, fa, fb uint8) bool {
+			t1 := float64(a%400) + float64(fa)/256
+			t2 := float64(b%400) + float64(fb)/256
+			if t2 < t1 {
+				t1, t2 = t2, t1
+			}
+			got := energy.Energy(cum, t1, t2)
+			want := naive(src, t1, t2)
+			// Scale-aware tolerance: the prefix difference cancels two
+			// sums of up to ~400 terms of O(10) magnitude.
+			tol := 1e-9 * (1 + math.Abs(want) + cum.CumulativeEnergy(t2))
+			return got >= 0 && math.Abs(got-want) <= tol
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+// TestCumulativeLazyExtensionBoundary queries an interval that straddles
+// the cache's current high-water mark, in both fresh and pre-warmed
+// orders: values must not depend on the order tables were extended in.
+func TestCumulativeLazyExtensionBoundary(t *testing.T) {
+	for name, src := range propSources(t) {
+		// Reference: a cache warmed monotonically to 200.
+		ref := energy.AsCumulative(src)
+		refVal := ref.CumulativeEnergy(200)
+
+		// Fresh cache: first query lands mid-unit just past a partial
+		// warm-up, so ensure() extends across its own high-water mark.
+		for _, warm := range []float64{0, 17, 99.5, 150} {
+			c := energy.AsCumulative(opaque{src}) // force a fresh Cached even for solar
+			if warm > 0 {
+				c.PowerAt(warm)
+			}
+			if got := c.CumulativeEnergy(200); got != refVal {
+				t.Fatalf("%s: warm-to-%v cache: CumulativeEnergy(200) = %v, want %v",
+					name, warm, got, refVal)
+			}
+			lo, hi := warm-0.5, warm+42.25
+			if lo < 0 {
+				lo = 0
+			}
+			got := energy.Energy(c, lo, hi)
+			want := naive(src, lo, hi)
+			if math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+				t.Fatalf("%s: straddling interval [%v, %v] = %v, naive %v",
+					name, lo, hi, got, want)
+			}
+		}
+	}
+}
+
+// TestSolarForkBitEqual: a fork taken at any warm-up depth realizes the
+// same trace, power table and prefix sums as a fresh model with the same
+// seed — extension happens on the fork, never on the master.
+func TestSolarForkBitEqual(t *testing.T) {
+	for _, warm := range []float64{0, 1, 100, 500} {
+		master := energy.NewSolarModel(42)
+		if warm > 0 {
+			master.PowerAt(warm)
+		}
+		fork := master.Fork()
+		fresh := energy.NewSolarModel(42)
+		for k := 0; k <= 700; k++ {
+			tt := float64(k) + 0.5
+			if a, b := fork.PowerAt(tt), fresh.PowerAt(tt); a != b {
+				t.Fatalf("warm %v: fork power at %v = %v, fresh = %v", warm, tt, a, b)
+			}
+		}
+		if a, b := fork.CumulativeEnergy(700), fresh.CumulativeEnergy(700); a != b {
+			t.Fatalf("warm %v: fork cum(700) = %v, fresh = %v", warm, a, b)
+		}
+		// The fork's extension beyond the master's high-water mark must
+		// not have leaked back: a second fork sees the same tail again.
+		if a, b := master.Fork().CumulativeEnergy(700), fresh.CumulativeEnergy(700); a != b {
+			t.Fatalf("warm %v: second fork cum(700) = %v, fresh = %v", warm, a, b)
+		}
+	}
+}

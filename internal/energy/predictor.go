@@ -25,6 +25,11 @@ type Predictor interface {
 // error in the ablation benches.
 type Oracle struct {
 	Src Source
+
+	// cum is Src upgraded to O(1) prefix queries — the oracle integrates
+	// the true source on every decision, which without the cache costs
+	// O(deadline) per query.
+	cum Cumulative
 }
 
 // NewOracle returns a perfect predictor for src.
@@ -32,13 +37,16 @@ func NewOracle(src Source) *Oracle {
 	if src == nil {
 		panic("energy: nil source for oracle")
 	}
-	return &Oracle{Src: src}
+	return &Oracle{Src: src, cum: AsCumulative(src)}
 }
 
 func (o *Oracle) Observe(t, p float64) {}
 
 func (o *Oracle) PredictEnergy(t1, t2 float64) float64 {
-	return Energy(o.Src, t1, t2)
+	if o.cum == nil { // literal construction without NewOracle
+		o.cum = AsCumulative(o.Src)
+	}
+	return Energy(o.cum, t1, t2)
 }
 
 func (o *Oracle) Name() string { return "oracle" }
@@ -98,6 +106,16 @@ type SlotEWMA struct {
 	Alpha   float64
 	avg     []float64
 	seenAny bool
+
+	// Lazily rebuilt prediction tables (dirty after every Observe):
+	// est[i] is the resolved per-slot power (avg or fallback), prefix[i]
+	// the energy of slots [0, i) within one period, periodTotal the whole
+	// period's energy. With them a PredictEnergy query is O(1) instead of
+	// O(span/slotLen).
+	dirty       bool
+	est         []float64
+	prefix      []float64
+	periodTotal float64
 }
 
 // NewSlotEWMA returns a profile predictor with the given source period,
@@ -145,6 +163,7 @@ func (s *SlotEWMA) Observe(t, p float64) {
 		s.avg[i] = s.Alpha*p + (1-s.Alpha)*s.avg[i]
 	}
 	s.seenAny = true
+	s.dirty = true
 }
 
 // slotEstimate returns the learned power for slot i, falling back to the
@@ -166,21 +185,45 @@ func (s *SlotEWMA) slotEstimate(i int) float64 {
 	return sum / float64(n)
 }
 
+// rebuild refreshes the prediction tables from the per-slot averages.
+// O(Slots), amortized over the (typically many) queries between
+// observations.
+func (s *SlotEWMA) rebuild() {
+	slotLen := s.Period / float64(s.Slots)
+	if s.est == nil {
+		s.est = make([]float64, s.Slots)
+		s.prefix = make([]float64, s.Slots+1)
+	}
+	for i := range s.est {
+		s.est[i] = s.slotEstimate(i)
+		s.prefix[i+1] = s.prefix[i] + s.est[i]*slotLen
+	}
+	s.periodTotal = s.prefix[s.Slots]
+	s.dirty = false
+}
+
+// cumulative returns the predicted energy over [0, t] from the tables.
+func (s *SlotEWMA) cumulative(t float64) float64 {
+	full := math.Floor(t / s.Period)
+	phase := t - full*s.Period
+	slotLen := s.Period / float64(s.Slots)
+	i := int(phase / slotLen)
+	if i >= s.Slots {
+		i = s.Slots - 1
+	}
+	return full*s.periodTotal + s.prefix[i] + s.est[i]*(phase-float64(i)*slotLen)
+}
+
 func (s *SlotEWMA) PredictEnergy(t1, t2 float64) float64 {
 	checkInterval(t1, t2)
-	slotLen := s.Period / float64(s.Slots)
-	total := 0.0
-	t := t1
-	for t < t2 {
-		i := s.slotOf(t)
-		// end of this slot occurrence
-		slotStart := math.Floor(t/slotLen) * slotLen
-		end := math.Min(slotStart+slotLen, t2)
-		if end <= t { // guard against FP stall at slot boundaries
-			end = math.Min(t+slotLen, t2)
-		}
-		total += s.slotEstimate(i) * (end - t)
-		t = end
+	if s.dirty || s.est == nil {
+		s.rebuild()
+	}
+	total := s.cumulative(t2) - s.cumulative(t1)
+	if total < 0 {
+		// Estimates are non-negative (powers are), so a negative
+		// difference can only be float jitter at period/slot boundaries.
+		total = 0
 	}
 	return total
 }

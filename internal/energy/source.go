@@ -33,6 +33,10 @@ type Source interface {
 // Energy integrates src over [t1, t2] exactly, exploiting the
 // piecewise-constant-per-unit-interval contract. It is the simulator's
 // ES(t1, t2) (eq. 2).
+//
+// Sources that implement Cumulative answer in O(1) via prefix-sum
+// difference C(t2) − C(t1); everything else falls back to the O(t2−t1)
+// unit walk. Wrap hot sources with AsCumulative to get the fast path.
 func Energy(src Source, t1, t2 float64) float64 {
 	if t2 < t1 {
 		panic(fmt.Sprintf("energy: Energy interval inverted [%v, %v]", t1, t2))
@@ -40,6 +44,18 @@ func Energy(src Source, t1, t2 float64) float64 {
 	if t1 < 0 {
 		panic(fmt.Sprintf("energy: Energy interval starts before 0: %v", t1))
 	}
+	if c, ok := src.(Cumulative); ok {
+		return c.CumulativeEnergy(t2) - c.CumulativeEnergy(t1)
+	}
+	return naiveEnergy(src, t1, t2)
+}
+
+// naiveEnergy is the reference unit-interval integration: walk [t1, t2]
+// one unit boundary at a time, accumulating PowerAt·width left to right.
+// The prefix-sum caches reproduce this addition order exactly for
+// intervals starting at 0 (see cumulative.go), which is what the
+// bit-equivalence property test pins down.
+func naiveEnergy(src Source, t1, t2 float64) float64 {
 	total := 0.0
 	t := t1
 	for t < t2 {
@@ -63,11 +79,26 @@ func Energy(src Source, t1, t2 float64) float64 {
 // Samples are generated lazily and memoized so that PowerAt is a pure
 // function of t for a given seed — predictors and the engine may query any
 // interval in any order and always observe the same trace.
+//
+// Retention policy: the memoized tables (sample, per-unit power, energy
+// prefix sum — 24 bytes per simulated time unit) live as long as the model
+// and grow to the furthest instant ever queried; they are never evicted,
+// because the realized trace *is* the identity of a seeded source and
+// dropping a prefix would break deterministic replay. A 10⁴-unit horizon
+// costs ~240 KB; multi-day sweeps should share one model per replication
+// via Fork instead of instantiating one per policy. Growth beyond
+// maxSolarSamples panics — that many units (~1.5 GiB of tables) always
+// indicates a runaway horizon, not a real experiment.
 type SolarModel struct {
 	Amplitude float64 // peak envelope scale; the paper uses 10
 	r         *rng.RNG
-	samples   []float64
+	samples   []float64 // memoized |N(k)| deviates
+	power     []float64 // power[k] = Amplitude·samples[k]·Envelope(k)
+	cum       []float64 // cum[k] = ∫₀ᵏ P; len(cum) == len(power)+1
 }
+
+// maxSolarSamples caps lazy table growth (see the retention policy above).
+const maxSolarSamples = 1 << 26
 
 // EnvelopePeriod is the period of the cos² envelope of eq. (13) in time
 // units: cos²(t/70π) repeats every 70π².
@@ -96,7 +127,24 @@ func NewSolarModelAmpChecked(seed uint64, amplitude float64) (*SolarModel, error
 	if amplitude < 0 || math.IsNaN(amplitude) || math.IsInf(amplitude, 0) {
 		return nil, fmt.Errorf("energy: invalid solar amplitude %v", amplitude)
 	}
-	return &SolarModel{Amplitude: amplitude, r: rng.New(seed)}, nil
+	return &SolarModel{Amplitude: amplitude, r: rng.New(seed), cum: []float64{0}}, nil
+}
+
+// Fork returns a model that shares this one's memoized trace so far and
+// extends it identically on demand: the fork clones the RNG state and
+// cap-clamps the shared slices, so later growth in either model reallocates
+// instead of clobbering the other, and both realize bit-identical samples
+// for every index. The experiment runner forks one master source per
+// replication across the paired policies instead of regenerating the trace
+// per policy.
+func (s *SolarModel) Fork() *SolarModel {
+	return &SolarModel{
+		Amplitude: s.Amplitude,
+		r:         s.r.Clone(),
+		samples:   s.samples[:len(s.samples):len(s.samples)],
+		power:     s.power[:len(s.power):len(s.power)],
+		cum:       s.cum[:len(s.cum):len(s.cum)],
+	}
 }
 
 // Envelope returns the deterministic cos² factor of eq. (13) at time t.
@@ -105,11 +153,49 @@ func Envelope(t float64) float64 {
 	return c * c
 }
 
-func (s *SolarModel) sample(k int) float64 {
-	for len(s.samples) <= k {
-		s.samples = append(s.samples, s.r.HalfNormal())
+// ensure extends the memoized tables through unit interval k. All three
+// slices are pre-grown with one reservation each (the former one-append-
+// per-element growth was quadratic from a cold start at large t).
+func (s *SolarModel) ensure(k int) {
+	if k < len(s.power) {
+		return
 	}
-	return s.samples[k]
+	if k >= maxSolarSamples {
+		panic(fmt.Sprintf("energy: solar trace would exceed %d units at t=%d — runaway horizon? (see SolarModel retention policy)", maxSolarSamples, k))
+	}
+	need := k + 1 - len(s.power)
+	s.samples = grow(s.samples, need)
+	s.power = grow(s.power, need)
+	s.cum = grow(s.cum, need)
+	if len(s.cum) == 0 {
+		s.cum = append(s.cum, 0)
+	}
+	for len(s.power) <= k {
+		i := len(s.power)
+		for len(s.samples) <= i {
+			s.samples = append(s.samples, s.r.HalfNormal())
+		}
+		p := s.Amplitude * s.samples[i] * Envelope(float64(i))
+		s.power = append(s.power, p)
+		s.cum = append(s.cum, s.cum[i]+p)
+	}
+}
+
+// grow reserves room for at least n more elements with at most one
+// allocation, doubling capacity so that the unit-by-unit extension of the
+// engine's boundary chain stays amortized O(1) (reserving exactly n would
+// reallocate the whole table on every one-element tail extension).
+func grow(s []float64, n int) []float64 {
+	if cap(s)-len(s) >= n {
+		return s
+	}
+	newCap := len(s) + n
+	if d := 2 * cap(s); newCap < d {
+		newCap = d
+	}
+	t := make([]float64, len(s), newCap)
+	copy(t, s)
+	return t
 }
 
 // PowerAt implements Source.
@@ -118,7 +204,23 @@ func (s *SolarModel) PowerAt(t float64) float64 {
 		panic("energy: PowerAt before t=0")
 	}
 	k := int(math.Floor(t))
-	return s.Amplitude * s.sample(k) * Envelope(float64(k))
+	s.ensure(k)
+	return s.power[k]
+}
+
+// CumulativeEnergy implements Cumulative: ∫₀ᵗ P in O(1) amortized from the
+// lazily extended prefix-sum table.
+func (s *SolarModel) CumulativeEnergy(t float64) float64 {
+	if t < 0 {
+		panic("energy: CumulativeEnergy before t=0")
+	}
+	k := int(math.Floor(t))
+	s.ensure(k)
+	e := s.cum[k]
+	if frac := t - float64(k); frac > 0 {
+		e += s.power[k] * frac
+	}
+	return e
 }
 
 // MeanPower implements Source: E[|N|]·E[cos²]·Amplitude = A·sqrt(2/π)/2.

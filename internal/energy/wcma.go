@@ -46,6 +46,16 @@ type WCMA struct {
 	lastSlot int
 	lastDay  int
 	haveSlot bool
+
+	// Lazily rebuilt prediction tables (dirty after every Observe):
+	// val[s] is the effective forecast power of slot s (GAP·mean or the
+	// last-observation fallback), prefix[s] the energy of slots [0, s)
+	// within one period. They make PredictEnergy O(1) instead of
+	// O(span/slotLen · Days).
+	dirty       bool
+	val         []float64
+	prefix      []float64
+	periodTotal float64
 }
 
 type slotAcc struct {
@@ -133,6 +143,7 @@ func (w *WCMA) Observe(t, p float64) {
 	w.hist[w.ring][slot].sum += p
 	w.hist[w.ring][slot].n++
 	w.lastSlot, w.lastDay, w.haveSlot = slot, day, true
+	w.dirty = true
 }
 
 // gap returns the current weather-conditioning factor.
@@ -157,6 +168,39 @@ func (w *WCMA) gap() float64 {
 	return g
 }
 
+// rebuild refreshes the per-slot forecast tables — O(Slots·Days), paid
+// once per observation instead of per query.
+func (w *WCMA) rebuild() {
+	if w.val == nil {
+		w.val = make([]float64, w.Slots)
+		w.prefix = make([]float64, w.Slots+1)
+	}
+	g := w.gap()
+	for s := range w.val {
+		m, ok := w.mean(s)
+		if !ok {
+			m = w.lastObs
+		} else {
+			m *= g
+		}
+		w.val[s] = m
+		w.prefix[s+1] = w.prefix[s] + m*w.slotLen
+	}
+	w.periodTotal = w.prefix[w.Slots]
+	w.dirty = false
+}
+
+// cumulative returns the forecast energy over [0, t] from the tables.
+func (w *WCMA) cumulative(t float64) float64 {
+	full := math.Floor(t / w.Period)
+	phase := t - full*w.Period
+	s := int(phase / w.slotLen)
+	if s >= w.Slots {
+		s = w.Slots - 1
+	}
+	return full*w.periodTotal + w.prefix[s] + w.val[s]*(phase-float64(s)*w.slotLen)
+}
+
 // PredictEnergy implements Predictor.
 func (w *WCMA) PredictEnergy(t1, t2 float64) float64 {
 	checkInterval(t1, t2)
@@ -164,24 +208,14 @@ func (w *WCMA) PredictEnergy(t1, t2 float64) float64 {
 		// First day: no profile yet — extrapolate the last observation.
 		return w.lastObs * (t2 - t1)
 	}
-	g := w.gap()
-	total := 0.0
-	t := t1
-	for t < t2 {
-		_, s := w.slotOf(t)
-		slotStart := math.Floor(t/w.slotLen) * w.slotLen
-		end := math.Min(slotStart+w.slotLen, t2)
-		if end <= t {
-			end = math.Min(t+w.slotLen, t2)
-		}
-		m, ok := w.mean(s)
-		if !ok {
-			m = w.lastObs
-		} else {
-			m *= g
-		}
-		total += m * (end - t)
-		t = end
+	if w.dirty || w.val == nil {
+		w.rebuild()
+	}
+	total := w.cumulative(t2) - w.cumulative(t1)
+	if total < 0 {
+		// Forecast powers are non-negative, so a negative difference can
+		// only be float jitter at period/slot boundaries.
+		total = 0
 	}
 	return total
 }

@@ -206,6 +206,37 @@ type Replication struct {
 	Index      int
 	Tasks      []task.Task
 	SourceSeed uint64
+
+	// master is the replication's memoized solar trace. When prepared,
+	// Source() forks it, so every paired policy/capacity run shares one
+	// realized sample path instead of regenerating ~horizon half-normal
+	// draws per run. nil is always valid — Source() then seeds a fresh
+	// model, which realizes the bit-identical trace (the seed is the
+	// trace's identity).
+	master *energy.SolarModel
+}
+
+// PrepareSource memoizes the replication's solar model and warms it
+// through time upTo. Call it once before fanning a replication out to
+// parallel runs: the forks then share the realized trace and never mutate
+// the master, so concurrent runs stay race-free.
+func (r *Replication) PrepareSource(upTo float64) {
+	if r.master == nil {
+		r.master = energy.NewSolarModel(r.SourceSeed)
+	}
+	if upTo >= 0 {
+		r.master.PowerAt(upTo)
+	}
+}
+
+// Source returns the solar source for one run of this replication: a fork
+// of the prepared master (sharing its memoized samples) or, unprepared, a
+// fresh seeded model. Both realize the same trace bit for bit.
+func (r *Replication) Source() *energy.SolarModel {
+	if r.master != nil {
+		return r.master.Fork()
+	}
+	return energy.NewSolarModel(r.SourceSeed)
 }
 
 // Replicate derives replication r of the spec.
@@ -235,7 +266,7 @@ func RunOne(s Spec, rep Replication, capacity float64, pf PolicyFactory, record 
 	if err != nil {
 		return nil, err
 	}
-	src := energy.NewSolarModel(rep.SourceSeed)
+	src := rep.Source()
 	cfg := &sim.Config{
 		Horizon:      s.Horizon,
 		Tasks:        rep.Tasks,

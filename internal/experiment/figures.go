@@ -197,6 +197,10 @@ func replicateAll(s Spec) ([]Replication, error) {
 		if err != nil {
 			return nil, err
 		}
+		// One realized trace per replication, shared (via Fork) by every
+		// paired policy/capacity run below; warmed to the horizon so the
+		// parallel workers never mutate the master.
+		reps[r].PrepareSource(s.Horizon)
 	}
 	return reps, nil
 }

@@ -125,6 +125,7 @@ func MinCapacity(s Spec, utils []float64, policyNames []string) (*MinCapacityRes
 			if err != nil {
 				return nil, err
 			}
+			rep.PrepareSource(spec.Horizon) // shared across the capacity search runs
 			r, rep := r, rep
 			jobs = append(jobs, job{slot: r, run: func() error {
 				ca, okA, err := MinCapacitySearch(spec, rep, factories[0], lo, maxHi, tol)

@@ -159,6 +159,7 @@ func Convergence(s Spec, policy string, counts []int) (*ConvergenceResult, error
 		if err != nil {
 			return nil, err
 		}
+		rep.PrepareSource(spec.Horizon)
 		r, rep := r, rep
 		jobs = append(jobs, job{slot: r, run: func() error {
 			res, err := RunOne(spec, rep, capacity, pf, false)

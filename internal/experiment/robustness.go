@@ -6,7 +6,6 @@ import (
 	"sort"
 	"strings"
 
-	"github.com/eadvfs/eadvfs/internal/energy"
 	"github.com/eadvfs/eadvfs/internal/fault"
 	"github.com/eadvfs/eadvfs/internal/metrics"
 	"github.com/eadvfs/eadvfs/internal/rng"
@@ -246,7 +245,7 @@ func runFaulted(s Spec, rep Replication, capacity float64, pf PolicyFactory, fsp
 	if err != nil {
 		return nil, err
 	}
-	src := energy.NewSolarModel(rep.SourceSeed)
+	src := rep.Source()
 	cfg := &sim.Config{
 		Horizon:   s.Horizon,
 		Tasks:     rep.Tasks,

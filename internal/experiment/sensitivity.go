@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"github.com/eadvfs/eadvfs/internal/cpu"
-	"github.com/eadvfs/eadvfs/internal/energy"
 	"github.com/eadvfs/eadvfs/internal/metrics"
 	"github.com/eadvfs/eadvfs/internal/sim"
 	"github.com/eadvfs/eadvfs/internal/storage"
@@ -190,7 +189,7 @@ func runWith(s Spec, rep Replication, capacity float64, pf PolicyFactory, proc *
 	if err != nil {
 		return nil, err
 	}
-	src := energy.NewSolarModel(rep.SourceSeed)
+	src := rep.Source()
 	return sim.Run(&sim.Config{
 		Horizon:   s.Horizon,
 		Tasks:     rep.Tasks,

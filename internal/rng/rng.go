@@ -47,6 +47,15 @@ func New(seed uint64) *RNG {
 	return r
 }
 
+// Clone returns an exact copy of the generator's state. The clone and the
+// original produce identical streams from this point on — used to fork a
+// memoized energy source so lazy tail extension draws the same deviates in
+// every fork (internal/energy).
+func (r *RNG) Clone() *RNG {
+	c := *r
+	return &c
+}
+
 // Child derives an independent generator from this one's seed space using a
 // stream index. Calling Child(i) with distinct i values yields streams that
 // do not overlap in practice; the parent is not advanced.

@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"github.com/eadvfs/eadvfs/internal/cpu"
 	"github.com/eadvfs/eadvfs/internal/des"
@@ -218,9 +219,25 @@ type Result struct {
 }
 
 // engine is the per-run mutable state.
+//
+// Event plumbing: only deadline checks live in the DES kernel heap. The
+// other event classes each have a natural structure that makes a heap (and
+// its per-event bookkeeping) unnecessary, so they are kept as *virtual
+// streams* and merged with the kernel by (time, priority) in dispatch():
+//
+//   - unit boundaries are a monotone +1 chain (nextBoundary),
+//   - at most one segment end is pending at a time (segTime — superseding
+//     it is a field write, which also removes the stale-handle hazard of
+//     cancelling a pooled kernel event after it fired),
+//   - arrivals are a cursor over the pre-sorted release slice,
+//   - at most one decision is pending at a time (decideAt).
+//
+// The priorities are disjoint per stream, so the merged order is exactly
+// the order the old all-in-kernel design produced, and dispatched counts
+// every fired event the same way kernel.Steps() used to.
 type engine struct {
 	cfg    *Config
-	kernel *des.Kernel
+	kernel *des.Kernel // deadline checks only; see above
 	queue  *task.ReadyQueue
 
 	lastT float64 // state integrated up to here
@@ -232,8 +249,18 @@ type engine struct {
 	segStart  float64 // start of the current constant-activity segment
 	lastRunLv int     // level of the previous run segment, -1 before any
 
-	segEvent      *des.Event
+	release       []*task.Job // job releases sorted by arrival (stable)
+	nextArrival   int         // cursor into release
+	nextBoundary  float64     // next unit boundary; +Inf when exhausted
+	segTime       float64     // pending segment end; +Inf when none
+	decideAt      float64     // pending decision instant
 	decidePending bool
+
+	simNow     float64 // time of the last dispatched event
+	dispatched uint64  // events fired across all streams (Result.Events)
+
+	deadlineFn des.ArgHandler // shared handler for all deadline events
+	ctx        sched.Context  // rebuilt in place per decision (sched contract)
 
 	initialLevel float64
 	tasks        *taskTable
@@ -304,21 +331,25 @@ func Run(cfg *Config) (*Result, error) {
 	}
 
 	// Job releases: the periodic tasks' instances plus any explicit jobs.
+	// ReleaseJobs is already sorted; the stable re-sort folds the appended
+	// explicit jobs in while keeping the original tie order at equal
+	// arrival instants (which is the former kernel-heap insertion order).
 	release := task.ReleaseJobs(cfg.Tasks, cfg.Horizon)
 	for _, j := range cfg.Jobs {
 		if j.Arrival < cfg.Horizon {
 			release = append(release, j)
 		}
 	}
-	for _, j := range release {
-		j := j
-		e.kernel.At(j.Arrival, prioArrival, "arrival", func(now float64) { e.onArrival(now, j) })
-	}
+	sort.SliceStable(release, func(a, b int) bool { return release[a].Arrival < release[b].Arrival })
+	e.release = release
 
 	// Unit-boundary chain: predictor observation + energy sampling.
+	e.nextBoundary = math.Inf(1)
 	if cfg.Horizon >= 1 {
-		e.kernel.At(1, prioBoundary, "boundary", e.onBoundary)
+		e.nextBoundary = 1
 	}
+	e.segTime = math.Inf(1)
+	e.deadlineFn = e.onDeadlineArg
 
 	e.requestDecide(0)
 	if err := e.dispatch(); err != nil {
@@ -332,7 +363,7 @@ func Run(cfg *Config) (*Result, error) {
 	e.res.PerTask = e.tasks.table()
 	e.res.Meters = cfg.Store.Meters()
 	e.res.FinalLevel = cfg.Store.Level()
-	e.res.Events = e.kernel.Steps()
+	e.res.Events = e.dispatched
 	e.res.ConservationErr = cfg.Store.ConservationError(e.initialLevel)
 	if err := e.res.Miss.Check(); err != nil {
 		if e.inv == nil {
@@ -349,30 +380,89 @@ func Run(cfg *Config) (*Result, error) {
 	return e.res, nil
 }
 
-// dispatch runs the event loop to the horizon, enforcing the optional
-// event budget (Config.MaxEvents).
+// dispatch merges the virtual event streams with the kernel heap and runs
+// the earliest (time, priority) pair until the horizon, enforcing the
+// optional event budget (Config.MaxEvents).
 func (e *engine) dispatch() error {
-	if e.cfg.MaxEvents == 0 {
-		e.kernel.RunUntil(e.cfg.Horizon)
-		return nil
-	}
 	for {
-		t, ok := e.kernel.PeekTime()
+		t, prio, ok := e.peekNext()
 		if !ok || t > e.cfg.Horizon {
-			break
+			return nil
 		}
-		if e.kernel.Steps() >= e.cfg.MaxEvents {
+		if e.cfg.MaxEvents > 0 && e.dispatched >= e.cfg.MaxEvents {
 			return &EventBudgetError{
-				Events:  e.kernel.Steps(),
-				Time:    e.kernel.Now(),
+				Events:  e.dispatched,
+				Time:    e.simNow,
 				Horizon: e.cfg.Horizon,
-				Pending: e.kernel.Pending(),
+				Pending: e.pendingEvents(),
 			}
 		}
-		e.kernel.Step()
+		e.dispatched++
+		e.simNow = t
+		switch prio {
+		case prioBoundary:
+			e.nextBoundary = t + 1
+			if e.nextBoundary > e.cfg.Horizon {
+				e.nextBoundary = math.Inf(1)
+			}
+			e.onBoundary(t)
+		case prioSegment:
+			e.segTime = math.Inf(1)
+			e.onSegmentEnd(t)
+		case prioArrival:
+			j := e.release[e.nextArrival]
+			e.nextArrival++
+			e.onArrival(t, j)
+		case prioDeadline:
+			e.kernel.Step()
+		case prioDecide:
+			e.onDecide(t)
+		}
 	}
-	e.kernel.RunUntil(e.cfg.Horizon) // advance the clock to the horizon
-	return nil
+}
+
+// peekNext returns the earliest pending (time, priority) across the kernel
+// heap and the virtual streams. The priorities are disjoint per stream, so
+// (time, priority) alone is a total order.
+func (e *engine) peekNext() (float64, int, bool) {
+	best, bestPrio, ok := e.kernel.Peek()
+	if !ok {
+		best, bestPrio = math.Inf(1), prioDecide+1
+	}
+	better := func(t float64, prio int) bool {
+		return t < best || (t == best && prio < bestPrio)
+	}
+	if better(e.nextBoundary, prioBoundary) {
+		best, bestPrio = e.nextBoundary, prioBoundary
+	}
+	if better(e.segTime, prioSegment) {
+		best, bestPrio = e.segTime, prioSegment
+	}
+	if e.nextArrival < len(e.release) {
+		if t := e.release[e.nextArrival].Arrival; better(t, prioArrival) {
+			best, bestPrio = t, prioArrival
+		}
+	}
+	if e.decidePending && better(e.decideAt, prioDecide) {
+		best, bestPrio = e.decideAt, prioDecide
+	}
+	return best, bestPrio, !math.IsInf(best, 1)
+}
+
+// pendingEvents counts queued events across all streams (diagnostics for
+// EventBudgetError).
+func (e *engine) pendingEvents() int {
+	n := e.kernel.Pending() + (len(e.release) - e.nextArrival)
+	if !math.IsInf(e.nextBoundary, 1) {
+		n++
+	}
+	if !math.IsInf(e.segTime, 1) {
+		n++
+	}
+	if e.decidePending {
+		n++
+	}
+	return n
 }
 
 // cpuPower returns the processor draw for the current mode.
@@ -505,11 +595,18 @@ func (e *engine) onArrival(now float64, j *task.Job) {
 	}
 	e.queue.Push(j)
 	// Deadline check, scheduled only if it falls inside the horizon; jobs
-	// whose deadlines lie beyond the horizon are left unadjudicated.
+	// whose deadlines lie beyond the horizon are left unadjudicated. The
+	// shared ArgHandler keeps this allocation-free (a *Job in an interface
+	// does not allocate, and the kernel pools the Event itself).
 	if j.Abs <= e.cfg.Horizon {
-		e.kernel.At(j.Abs, prioDeadline, "deadline", func(t float64) { e.onDeadline(t, j) })
+		e.kernel.AtArg(j.Abs, prioDeadline, "deadline", e.deadlineFn, j)
 	}
 	e.requestDecide(now)
+}
+
+// onDeadlineArg adapts onDeadline to the kernel's shared-handler shape.
+func (e *engine) onDeadlineArg(now float64, arg any) {
+	e.onDeadline(now, arg.(*task.Job))
 }
 
 func (e *engine) onDeadline(now float64, j *task.Job) {
@@ -544,9 +641,7 @@ func (e *engine) onBoundary(now float64) {
 			s.Values[k] = e.cfg.Store.Level()
 		}
 	}
-	if now+1 <= e.cfg.Horizon {
-		e.kernel.At(now+1, prioBoundary, "boundary", e.onBoundary)
-	}
+	// The boundary chain advances in dispatch(); nothing to re-arm here.
 	// Harvest conditions changed: lazy policies must re-evaluate s1/s2.
 	e.requestDecide(now)
 }
@@ -589,7 +684,7 @@ func (e *engine) requestDecide(now float64) {
 		return
 	}
 	e.decidePending = true
-	e.kernel.At(now, prioDecide, "decide", e.onDecide)
+	e.decideAt = now
 }
 
 func (e *engine) onDecide(now float64) {
@@ -597,12 +692,12 @@ func (e *engine) onDecide(now float64) {
 	e.syncTo(now)
 	e.finishIfDone(now)
 
-	if e.segEvent != nil {
-		e.kernel.Cancel(e.segEvent)
-		e.segEvent = nil
-	}
+	// A fresh decision supersedes any pending segment end.
+	e.segTime = math.Inf(1)
 
-	ctx := &sched.Context{
+	// The context struct is reused across decisions — policies must not
+	// retain it past Decide (sched.Context's documented contract).
+	e.ctx = sched.Context{
 		Now:       now,
 		Queue:     e.queue,
 		Stored:    e.cfg.Store.Level(),
@@ -610,7 +705,7 @@ func (e *engine) onDecide(now float64) {
 		CPU:       e.cfg.CPU,
 		Predictor: e.cfg.Predictor,
 	}
-	d := e.cfg.Policy.Decide(ctx)
+	d := e.cfg.Policy.Decide(&e.ctx)
 	e.res.Decisions++
 	if e.mode == ModeRun && e.running != nil && !e.running.Done() &&
 		d.Job != nil && d.Job != e.running {
@@ -681,5 +776,5 @@ func (e *engine) scheduleSegmentEnd(now, completion, until float64) {
 	if end > e.cfg.Horizon {
 		return // the run ends first
 	}
-	e.segEvent = e.kernel.At(end, prioSegment, "segment-end", e.onSegmentEnd)
+	e.segTime = end
 }

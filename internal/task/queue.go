@@ -6,6 +6,10 @@ import "container/heap"
 // paper's queue Q ("maintain a task queue Q containing all ready but not
 // finished tasks", Fig. 4 line 1). The earliest-deadline job is always at
 // the head; ordering is the total order of EarlierDeadline.
+//
+// Jobs track their own heap position, so Remove is O(log n) instead of a
+// linear scan; a job can therefore sit in at most one ReadyQueue at a time
+// (the engine's model — each run owns its jobs).
 type ReadyQueue struct {
 	h jobHeap
 }
@@ -14,13 +18,22 @@ type jobHeap []*Job
 
 func (h jobHeap) Len() int           { return len(h) }
 func (h jobHeap) Less(i, j int) bool { return EarlierDeadline(h[i], h[j]) }
-func (h jobHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *jobHeap) Push(x any)        { *h = append(*h, x.(*Job)) }
+func (h jobHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].heapIndex = i
+	h[j].heapIndex = j
+}
+func (h *jobHeap) Push(x any) {
+	j := x.(*Job)
+	j.heapIndex = len(*h)
+	*h = append(*h, j)
+}
 func (h *jobHeap) Pop() any {
 	old := *h
 	n := len(old)
 	j := old[n-1]
 	old[n-1] = nil
+	j.heapIndex = -1
 	*h = old[:n-1]
 	return j
 }
@@ -55,31 +68,54 @@ func (q *ReadyQueue) Pop() *Job {
 	return heap.Pop(&q.h).(*Job)
 }
 
-// Remove deletes a specific job (e.g. dropped at its deadline). It reports
-// whether the job was present.
+// Remove deletes a specific job (e.g. dropped at its deadline) in O(log n)
+// using the job's recorded heap position. It reports whether the job was
+// present.
 func (q *ReadyQueue) Remove(j *Job) bool {
-	for i, cand := range q.h {
-		if cand == j {
-			heap.Remove(&q.h, i)
-			return true
-		}
+	i := j.heapIndex
+	if i < 0 || i >= len(q.h) || q.h[i] != j {
+		return false
 	}
-	return false
+	heap.Remove(&q.h, i)
+	return true
 }
 
 // Jobs returns the queued jobs in no particular order (a copy).
 func (q *ReadyQueue) Jobs() []*Job {
-	return append([]*Job(nil), q.h...)
+	return q.AppendJobs(nil)
+}
+
+// AppendJobs appends the queued jobs (no particular order) to dst and
+// returns the extended slice — the allocation-free variant of Jobs for
+// callers that keep a scratch slice.
+func (q *ReadyQueue) AppendJobs(dst []*Job) []*Job {
+	return append(dst, q.h...)
+}
+
+// ForEach calls fn for every queued job (no particular order) until fn
+// returns false. fn must not mutate the queue.
+func (q *ReadyQueue) ForEach(fn func(*Job) bool) {
+	for _, j := range q.h {
+		if !fn(j) {
+			return
+		}
+	}
 }
 
 // ExpiredBefore returns (without removing) all jobs whose absolute deadline
 // is <= t and that are not finished — candidates for miss accounting.
 func (q *ReadyQueue) ExpiredBefore(t float64) []*Job {
-	var out []*Job
+	return q.AppendExpiredBefore(nil, t)
+}
+
+// AppendExpiredBefore appends to dst all queued, unfinished jobs with
+// absolute deadline <= t and returns the extended slice — the
+// allocation-free variant of ExpiredBefore.
+func (q *ReadyQueue) AppendExpiredBefore(dst []*Job, t float64) []*Job {
 	for _, j := range q.h {
 		if j.Abs <= t && !j.Done() {
-			out = append(out, j)
+			dst = append(dst, j)
 		}
 	}
-	return out
+	return dst
 }

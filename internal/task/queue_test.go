@@ -103,6 +103,97 @@ func TestJobsReturnsCopy(t *testing.T) {
 	}
 }
 
+// TestQueueRemoveHeadTailMiddle removes from every heap position class
+// and checks the head invariant each time; a removed job can be pushed
+// back (its recorded position is reset on removal).
+func TestQueueRemoveHeadTailMiddle(t *testing.T) {
+	mk := func() (*ReadyQueue, []*Job) {
+		q := NewReadyQueue()
+		var js []*Job
+		for i, d := range []float64{10, 20, 30, 40, 50} {
+			j := NewJob(i, 0, 0, d, 1)
+			q.Push(j)
+			js = append(js, j)
+		}
+		return q, js
+	}
+	for name, pick := range map[string]int{"head": 0, "middle": 2, "tail": 4} {
+		q, js := mk()
+		if !q.Remove(js[pick]) {
+			t.Fatalf("%s: Remove failed", name)
+		}
+		prev := q.Pop()
+		for q.Len() > 0 {
+			next := q.Pop()
+			if EarlierDeadline(next, prev) {
+				t.Fatalf("%s: EDF order broken after Remove", name)
+			}
+			prev = next
+		}
+	}
+	q, js := mk()
+	q.Remove(js[1])
+	q.Push(js[1]) // re-admission after removal must work
+	if q.Len() != 5 || q.Peek() != js[0] {
+		t.Fatal("queue corrupted by remove + re-push")
+	}
+}
+
+// Property: under arbitrary interleavings of Push, Remove and Pop, the
+// queue drains in EDF total order and Remove agrees with membership.
+// This is the regression guard for the O(log n) positional Remove: the
+// seed implementation re-heapified around a linear scan, and a stale
+// heapIndex would surface here as a misordered pop or a false Remove.
+func TestQueueRemoveProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) > 150 {
+			raw = raw[:150]
+		}
+		q := NewReadyQueue()
+		in := map[*Job]bool{}
+		var all []*Job
+		for i, v := range raw {
+			switch v % 4 {
+			case 0, 1: // push a fresh job
+				j := NewJob(i, 0, float64(v%50), 1+float64(v/50%40), 0.5)
+				q.Push(j)
+				in[j] = true
+				all = append(all, j)
+			case 2: // remove an arbitrary job (possibly already gone)
+				if len(all) == 0 {
+					continue
+				}
+				j := all[int(v)%len(all)]
+				if got := q.Remove(j); got != in[j] {
+					return false
+				}
+				delete(in, j)
+			case 3: // pop the head
+				j := q.Pop()
+				if (j == nil) != (len(in) == 0) {
+					return false
+				}
+				delete(in, j)
+			}
+			if q.Len() != len(in) {
+				return false
+			}
+		}
+		prev := q.Pop()
+		for q.Len() > 0 {
+			next := q.Pop()
+			if EarlierDeadline(next, prev) {
+				return false
+			}
+			prev = next
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // Property: popping the whole queue always yields jobs in EDF total order.
 func TestQueueOrderProperty(t *testing.T) {
 	f := func(raw []uint16) bool {

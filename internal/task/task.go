@@ -67,7 +67,26 @@ type Job struct {
 	actual    float64 // true work left, at f_max; exceeds remaining only under an injected overrun
 	finished  bool
 	missed    bool
+
+	heapIndex int // position in the ReadyQueue heap; -1 when not queued
+
+	// Policy scratch: the locked s2 instant of EA-DVFS (internal/core).
+	// Storing it on the job instead of in a per-policy map keeps the
+	// decision path allocation-free and lets the state die with the job.
+	// A job participates in at most one run (Progress mutates it), so one
+	// slot cannot be contended by two policies.
+	s2lock   float64
+	s2locked bool
 }
+
+// LockS2 records the policy's locked s2 instant for this job.
+func (j *Job) LockS2(s2 float64) { j.s2lock, j.s2locked = s2, true }
+
+// S2Lock returns the locked s2 instant, if any.
+func (j *Job) S2Lock() (float64, bool) { return j.s2lock, j.s2locked }
+
+// ClearS2Lock forgets a locked s2 instant.
+func (j *Job) ClearS2Lock() { j.s2lock, j.s2locked = 0, false }
 
 // NewJob constructs a job whose actual work equals its WCET (the paper's
 // model).
@@ -83,6 +102,7 @@ func NewJob(taskID, seq int, arrival, relDeadline, wcet float64) *Job {
 		WCET:      wcet,
 		remaining: wcet,
 		actual:    wcet,
+		heapIndex: -1,
 	}
 }
 
