@@ -14,12 +14,21 @@
 // Usage:
 //
 //	eabench [-bench regexp] [-count 1] [-benchtime 1] [-json out.json]
-//	        [-cpuprofile cpu.out] [-memprofile mem.out]
+//	        [-check baseline.json] [-manifest-out manifest.json]
+//	        [-cpuprofile cpu.out] [-memprofile mem.out] [-version]
+//
+// -check compares the run against a baseline JSON report and fails when a
+// case regresses: allocs/op beyond baseline×1.15+2 (the hot-path
+// allocation guard — a probe-free run must stay allocation-free) or
+// ns/op beyond baseline×2.5 (a loose wall-clock tripwire that tolerates
+// CI machine noise but catches order-of-magnitude slowdowns).
+// -manifest-out records the build and measurement parameters.
 //
 // Examples:
 //
 //	eabench -count 5 | tee new.txt && benchstat old.txt new.txt
 //	eabench -json BENCH_baseline.json
+//	eabench -check BENCH_baseline.json
 //	eabench -bench Engine -benchtime 20 -cpuprofile cpu.out
 package main
 
@@ -34,6 +43,8 @@ import (
 	"time"
 
 	"github.com/eadvfs/eadvfs/internal/bench"
+	"github.com/eadvfs/eadvfs/internal/buildinfo"
+	"github.com/eadvfs/eadvfs/internal/obs"
 	"github.com/eadvfs/eadvfs/internal/profiling"
 )
 
@@ -58,14 +69,22 @@ type report struct {
 
 func main() {
 	var (
-		benchRe    = flag.String("bench", ".", "regexp selecting which cases to run")
-		count      = flag.Int("count", 1, "measurements per case (use >1 for benchstat input)")
-		benchtime  = flag.Int("benchtime", 1, "iterations per measurement (fixed, not adaptive: the workloads are deterministic)")
-		jsonPath   = flag.String("json", "", "write the JSON report (last measurement per case) to this file")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
-		memprofile = flag.String("memprofile", "", "write an allocation profile taken after the run to this file")
+		benchRe     = flag.String("bench", ".", "regexp selecting which cases to run")
+		count       = flag.Int("count", 1, "measurements per case (use >1 for benchstat input)")
+		benchtime   = flag.Int("benchtime", 1, "iterations per measurement (fixed, not adaptive: the workloads are deterministic)")
+		jsonPath    = flag.String("json", "", "write the JSON report (last measurement per case) to this file")
+		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
+		memprofile  = flag.String("memprofile", "", "write an allocation profile taken after the run to this file")
+		checkPath   = flag.String("check", "", "compare against this baseline JSON report and fail on ns/op or allocs/op regressions")
+		manifestOut = flag.String("manifest-out", "", "write the benchmark manifest (build, measurement parameters) to this file")
+		version     = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.Line("eabench"))
+		return
+	}
 
 	re, err := regexp.Compile(*benchRe)
 	if err != nil {
@@ -125,9 +144,90 @@ func main() {
 		fmt.Fprintf(os.Stderr, "eabench: wrote %s\n", *jsonPath)
 	}
 
+	if *manifestOut != "" {
+		m, err := obs.NewManifest("eabench", "", nil, struct {
+			Bench     string `json:"bench"`
+			Count     int    `json:"count"`
+			Benchtime int    `json:"benchtime"`
+		}{*benchRe, *count, *benchtime})
+		if err != nil {
+			fatalf("eabench: %v", err)
+		}
+		if err := m.WriteFile(*manifestOut); err != nil {
+			fatalf("eabench: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "eabench: wrote %s\n", *manifestOut)
+	}
+
 	if err := profiling.WriteHeap(*memprofile); err != nil {
 		fatalf("eabench: %v", err)
 	}
+
+	if *checkPath != "" {
+		if err := checkAgainst(*checkPath, rep); err != nil {
+			fatalf("eabench: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "eabench: no regressions against %s\n", *checkPath)
+	}
+}
+
+// Regression thresholds for -check. Allocations are near-deterministic,
+// so the bound is tight: the probe-free hot path must stay (close to)
+// allocation-free, and +15%+2 only absorbs runtime bookkeeping jitter.
+// Wall-clock varies wildly across CI machines, so its bound is a loose
+// tripwire for order-of-magnitude slowdowns, not a performance SLO.
+const (
+	allocSlackFactor = 1.15
+	allocSlackConst  = 2.0
+	nsSlackFactor    = 2.5
+)
+
+// checkAgainst compares this run's cases with a baseline report (the
+// -json schema, e.g. the checked-in BENCH_baseline.json). Cases present
+// in only one of the two reports are skipped: the baseline may predate a
+// new workload, and -bench may have filtered this run.
+func checkAgainst(path string, cur report) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base report
+	if err := json.Unmarshal(buf, &base); err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	baseline := make(map[string]caseReport, len(base.Cases))
+	for _, c := range base.Cases {
+		baseline[c.Name] = c
+	}
+	var failures []string
+	compared := 0
+	for _, c := range cur.Cases {
+		b, ok := baseline[c.Name]
+		if !ok {
+			continue
+		}
+		compared++
+		if limit := b.AllocsOp*allocSlackFactor + allocSlackConst; c.AllocsOp > limit {
+			failures = append(failures, fmt.Sprintf(
+				"%s: allocs/op %.1f exceeds baseline %.1f (limit %.1f)",
+				c.Name, c.AllocsOp, b.AllocsOp, limit))
+		}
+		if limit := b.NsPerOp * nsSlackFactor; c.NsPerOp > limit {
+			failures = append(failures, fmt.Sprintf(
+				"%s: ns/op %.0f exceeds baseline %.0f (limit %.0f)",
+				c.Name, c.NsPerOp, b.NsPerOp, limit))
+		}
+	}
+	if compared == 0 {
+		return fmt.Errorf("%s: no cases in common with this run", path)
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "eabench: regression: %s\n", f)
+		}
+		return fmt.Errorf("%d regression(s) against %s", len(failures), path)
+	}
+	return nil
 }
 
 // measure runs one case for n iterations between two ReadMemStats

@@ -13,10 +13,23 @@
 // writes the raw series as CSV. -replications trades fidelity for time
 // (the paper used 5000 task sets per point).
 //
-// The robustness sweep subjects EDF, LSA and EA-DVFS to the canonical
-// mixed-fault model (harvester dropouts, storage fade and leakage spikes,
-// stuck DVFS, predictor blackouts, WCET overruns) at each -intensities
-// step; -fault-seed pins the fault schedule, -capacity the storage size.
+// Further flags: -seed, -pmax, -predictor, -alpha and -width shape the
+// spec and charts; -cpuprofile/-memprofile write pprof profiles;
+// -version prints the build identity.
+//
+// The robustness sweep subjects the -policies set (default EDF, LSA and
+// EA-DVFS) to the canonical mixed-fault model (harvester dropouts,
+// storage fade and leakage spikes, stuck DVFS, predictor blackouts, WCET
+// overruns) at each -intensities step; -fault-seed pins the fault
+// schedule, -capacity the storage size.
+//
+// Observability: while a sweep runs, a live progress line (runs done /
+// total, ETA, degraded-run count) is rewritten on stderr when it is a
+// terminal; -quiet suppresses it. -metrics-out aggregates every run of
+// the sweep into a Prometheus text-format snapshot, -events-out streams
+// the structured per-run event log (JSONL schema v1 — large!), and
+// -manifest-out records the experiment's build, seeds and parameter
+// digest for reproduction.
 package main
 
 import (
@@ -27,8 +40,10 @@ import (
 	"strconv"
 	"strings"
 
+	"github.com/eadvfs/eadvfs/internal/buildinfo"
 	"github.com/eadvfs/eadvfs/internal/experiment"
 	"github.com/eadvfs/eadvfs/internal/metrics"
+	"github.com/eadvfs/eadvfs/internal/obs"
 	"github.com/eadvfs/eadvfs/internal/plot"
 	"github.com/eadvfs/eadvfs/internal/profiling"
 )
@@ -52,8 +67,19 @@ func main() {
 
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memprofile = flag.String("memprofile", "", "write an allocation profile taken after the run to this file")
+
+		quiet       = flag.Bool("quiet", false, "suppress the live progress line on stderr")
+		metricsOut  = flag.String("metrics-out", "", "write a Prometheus text-format snapshot aggregated over all runs to this file")
+		eventsOut   = flag.String("events-out", "", "write the structured per-run event log (JSONL schema v1) to this file")
+		manifestOut = flag.String("manifest-out", "", "write the experiment manifest (build, seeds, parameter digest) to this file")
+		version     = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.Line("eaexp"))
+		return
+	}
 
 	stopCPU, err := profiling.StartCPU(*cpuprofile)
 	if err != nil {
@@ -75,6 +101,75 @@ func main() {
 	if *reps > 0 {
 		spec.Replications = *reps
 	}
+
+	// Observability sinks, shared by every run of the invocation.
+	var probes []obs.Probe
+	var eventsW *obs.JSONLWriter
+	if *eventsOut != "" {
+		f, err := os.Create(*eventsOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "eaexp:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		eventsW = obs.NewJSONLWriter(f)
+		probes = append(probes, eventsW)
+		defer func() {
+			if err := eventsW.Flush(); err != nil {
+				fmt.Fprintln(os.Stderr, "eaexp:", err)
+			}
+		}()
+	}
+	var reg *obs.Registry
+	if *metricsOut != "" {
+		reg = obs.NewRegistry()
+		probes = append(probes, obs.NewMetricsProbe(reg))
+		spec.Metrics = reg
+		defer func() {
+			f, err := os.Create(*metricsOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "eaexp:", err)
+				return
+			}
+			err = reg.WritePrometheus(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "eaexp:", err)
+			}
+		}()
+	}
+	spec.Probe = obs.Multi(probes...)
+
+	if *manifestOut != "" {
+		mcfg := struct {
+			Exp         string          `json:"exp"`
+			Spec        experiment.Spec `json:"spec"`
+			Intensities string          `json:"intensities,omitempty"`
+			FaultSeed   uint64          `json:"fault_seed,omitempty"`
+			Capacity    float64         `json:"capacity,omitempty"`
+			Policies    string          `json:"policies,omitempty"`
+		}{Exp: *exp, Spec: spec}
+		if *exp == "robustness" {
+			mcfg.Intensities = *intensities
+			mcfg.FaultSeed = *faultSeed
+			mcfg.Capacity = *capacity
+			mcfg.Policies = *policies
+		}
+		m, err := obs.NewManifest("eaexp", *exp,
+			map[string]uint64{"seed": *seed, "fault-seed": *faultSeed}, mcfg)
+		if err == nil {
+			err = m.WriteFile(*manifestOut)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "eaexp:", err)
+			os.Exit(1)
+		}
+	}
+
+	stopProgress := startProgress(*quiet)
+	defer stopProgress()
 
 	run := func(name string, f func() error) {
 		if *exp != "all" && *exp != name {

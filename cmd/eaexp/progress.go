@@ -1,0 +1,68 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/eadvfs/eadvfs/internal/experiment"
+)
+
+// startProgress installs a live progress reporter on the experiment
+// harness: a single stderr line, rewritten in place after each finished
+// run, showing runs done / total, the ETA extrapolated from the elapsed
+// time, and how many runs degraded under injected faults. It is disabled
+// with -quiet or when stderr is not a terminal (CI logs stay clean), in
+// which case the returned stop function is a no-op.
+//
+// Each parallel batch (a sweep may run several) restarts the done/total
+// pair; the ETA always refers to the current batch. Updates are throttled
+// so the reporter stays off the workers' critical path.
+func startProgress(quiet bool) (stop func()) {
+	if quiet || !stderrIsTerminal() {
+		return func() {}
+	}
+
+	var (
+		start   time.Time
+		last    time.Time
+		printed bool
+	)
+	experiment.Progress = func(done, total int) {
+		now := time.Now()
+		if done == 1 {
+			start = now
+		}
+		// Throttle rewrites; always draw the final state of a batch.
+		if done < total && now.Sub(last) < 100*time.Millisecond {
+			return
+		}
+		last = now
+		eta := "--"
+		if done > 0 && done < total && !start.IsZero() {
+			left := time.Duration(float64(now.Sub(start)) / float64(done) * float64(total-done))
+			eta = left.Round(time.Second).String()
+		} else if done == total {
+			eta = "done"
+		}
+		fmt.Fprintf(os.Stderr, "\r\x1b[2K%d/%d runs  eta %s  degraded %d",
+			done, total, eta, experiment.DegradedRuns.Load())
+		printed = true
+	}
+	return func() {
+		experiment.Progress = nil
+		if printed {
+			fmt.Fprintln(os.Stderr)
+		}
+	}
+}
+
+// stderrIsTerminal reports whether stderr is a character device — the
+// stdlib-only TTY test (no syscall package games, no external deps).
+func stderrIsTerminal() bool {
+	fi, err := os.Stderr.Stat()
+	if err != nil {
+		return false
+	}
+	return fi.Mode()&os.ModeCharDevice != 0
+}

@@ -25,11 +25,20 @@ import (
 	"github.com/eadvfs/eadvfs/internal/energy"
 	"github.com/eadvfs/eadvfs/internal/experiment"
 	"github.com/eadvfs/eadvfs/internal/fault"
+	"github.com/eadvfs/eadvfs/internal/obs"
 	"github.com/eadvfs/eadvfs/internal/rng"
 	"github.com/eadvfs/eadvfs/internal/sim"
 	"github.com/eadvfs/eadvfs/internal/storage"
 	"github.com/eadvfs/eadvfs/internal/task"
 )
+
+// Probe receives structured observability output from a run: engine
+// events (arrivals, dispatches, segments, completions, deadline misses,
+// stalls, fault activations, invariant violations) and the scheduler's
+// decision-audit records. The alias re-exports internal/obs.Probe so
+// facade users can attach observers without importing internal packages;
+// cmd/easim shows the ready-made sinks (JSONL stream, metrics registry).
+type Probe = obs.Probe
 
 // Task is a periodic task: every Period time units a job with relative
 // deadline Deadline and worst-case execution time WCET (expressed at the
@@ -106,6 +115,11 @@ type Config struct {
 	// bounds, energy conservation, clock monotonicity). A violated run
 	// returns a structured error alongside the result.
 	CheckInvariants bool
+
+	// Probe, when non-nil, observes the run (engine events and scheduler
+	// decision audits). Excluded from serialization: a run manifest
+	// identifies the simulation, not its observers.
+	Probe Probe `json:"-"`
 }
 
 // Degradation summarizes the fault-induced degradation of a run: how long
@@ -242,6 +256,7 @@ func Run(userCfg Config) (*Result, error) {
 		Policy:          pf(),
 		RecordEnergy:    cfg.RecordEnergy,
 		CheckInvariants: cfg.CheckInvariants,
+		Probe:           cfg.Probe,
 	}
 	if cfg.FaultIntensity != 0 {
 		if cfg.FaultIntensity < 0 || cfg.FaultIntensity > 1 {

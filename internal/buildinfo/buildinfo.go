@@ -1,0 +1,79 @@
+// Package buildinfo exposes the build's identity — go toolchain version,
+// VCS revision and dirty bit — read once from debug.ReadBuildInfo. It backs
+// both the shared -version flag of the repository's binaries and the
+// provenance fields of run manifests (internal/obs), so a result artifact
+// and the binary that produced it report the same identity.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync"
+)
+
+// Info is the build identity. Zero-valued VCS fields mean the binary was
+// built outside a VCS checkout (e.g. `go test`, or a source tarball).
+type Info struct {
+	GoVersion string // e.g. "go1.22.1"
+	Module    string // main module path
+	Revision  string // full VCS revision hash, "" when unstamped
+	Time      string // commit timestamp (RFC 3339), "" when unstamped
+	Dirty     bool   // uncommitted changes at build time
+}
+
+var (
+	once   sync.Once
+	cached Info
+)
+
+// Get returns the build identity, memoized after the first call.
+func Get() Info {
+	once.Do(func() { cached = read() })
+	return cached
+}
+
+func read() Info {
+	info := Info{GoVersion: "unknown"}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	info.GoVersion = bi.GoVersion
+	info.Module = bi.Main.Path
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			info.Revision = s.Value
+		case "vcs.time":
+			info.Time = s.Value
+		case "vcs.modified":
+			info.Dirty = s.Value == "true"
+		}
+	}
+	return info
+}
+
+// ShortRevision returns the first 12 characters of the revision, with a
+// "-dirty" suffix when the working tree was modified, or "devel" when the
+// build carries no VCS stamp.
+func (i Info) ShortRevision() string {
+	if i.Revision == "" {
+		return "devel"
+	}
+	rev := i.Revision
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if i.Dirty {
+		rev += "-dirty"
+	}
+	return rev
+}
+
+// Line renders the one-line -version output for the named tool, e.g.
+//
+//	easim 1a2b3c4d5e6f-dirty (go1.22.1)
+func Line(tool string) string {
+	i := Get()
+	return fmt.Sprintf("%s %s (%s)", tool, i.ShortRevision(), i.GoVersion)
+}

@@ -16,6 +16,7 @@ import (
 	"math"
 
 	"github.com/eadvfs/eadvfs/internal/cpu"
+	"github.com/eadvfs/eadvfs/internal/obs"
 	"github.com/eadvfs/eadvfs/internal/sched"
 )
 
@@ -136,6 +137,7 @@ func (p *EADVFS) Name() string {
 func (p *EADVFS) Decide(ctx *sched.Context) sched.Decision {
 	j := ctx.Queue.Peek()
 	if j == nil {
+		ctx.AuditJob(p.Name(), nil, 0, 0, 0, -1, math.Inf(1), obs.ReasonIdleNoJob)
 		return sched.Idle(math.Inf(1))
 	}
 	plan := ComputePlan(ctx.CPU, ctx.AvailableEnergy(j.Abs), ctx.Now, j.Abs, j.Remaining())
@@ -144,6 +146,8 @@ func (p *EADVFS) Decide(ctx *sched.Context) sched.Decision {
 		// Even f_max cannot meet the deadline; run flat-out and let the
 		// engine account the miss — the paper's model never drops work
 		// before its deadline passes.
+		ctx.AuditJob(p.Name(), j, plan.Available, plan.S1, plan.S2,
+			ctx.CPU.MaxLevel(), math.Inf(1), obs.ReasonFullSpeedInfeasible)
 		return sched.Run(j, ctx.CPU.MaxLevel(), math.Inf(1))
 	}
 	if plan.SufficientEnergy(ctx.Now) {
@@ -151,6 +155,8 @@ func (p *EADVFS) Decide(ctx *sched.Context) sched.Decision {
 		// pending lock is obsolete: running at full speed can only help
 		// future tasks.
 		j.ClearS2Lock()
+		ctx.AuditJob(p.Name(), j, plan.Available, plan.S1, plan.S2,
+			ctx.CPU.MaxLevel(), math.Inf(1), obs.ReasonFullSpeedEnergyRich)
 		return sched.Run(j, ctx.CPU.MaxLevel(), math.Inf(1))
 	}
 
@@ -163,11 +169,15 @@ func (p *EADVFS) Decide(ctx *sched.Context) sched.Decision {
 	if ctx.Now >= s2-timeEps {
 		// Figure 4 line 10: past s2 the job must run at full speed so it
 		// does not steal time from future tasks (§4.3).
+		ctx.AuditJob(p.Name(), j, plan.Available, plan.S1, s2,
+			ctx.CPU.MaxLevel(), math.Inf(1), obs.ReasonFullSpeedEnergyPoor)
 		return sched.Run(j, ctx.CPU.MaxLevel(), math.Inf(1))
 	}
 	if ctx.Now < plan.S1-timeEps {
 		// Energy-infeasible to start yet even at the slow level: idle and
 		// recharge until s1 (re-evaluated on every event in between).
+		ctx.AuditJob(p.Name(), j, plan.Available, plan.S1, s2,
+			-1, plan.S1, obs.ReasonIdleRecharge)
 		return sched.Idle(plan.S1)
 	}
 	// Figure 4 line 8: stretched execution at the minimum feasible
@@ -177,5 +187,7 @@ func (p *EADVFS) Decide(ctx *sched.Context) sched.Decision {
 			j.LockS2(s2)
 		}
 	}
+	ctx.AuditJob(p.Name(), j, plan.Available, plan.S1, s2,
+		plan.Level, s2, obs.ReasonStretchSlackRich)
 	return sched.Run(j, plan.Level, s2)
 }

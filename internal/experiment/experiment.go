@@ -14,16 +14,63 @@ package experiment
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"github.com/eadvfs/eadvfs/internal/core"
 	"github.com/eadvfs/eadvfs/internal/cpu"
 	"github.com/eadvfs/eadvfs/internal/energy"
+	"github.com/eadvfs/eadvfs/internal/obs"
 	"github.com/eadvfs/eadvfs/internal/rng"
 	"github.com/eadvfs/eadvfs/internal/sched"
 	"github.com/eadvfs/eadvfs/internal/sim"
 	"github.com/eadvfs/eadvfs/internal/storage"
 	"github.com/eadvfs/eadvfs/internal/task"
 )
+
+// DegradedRuns counts completed runs whose Result.Degradation recorded any
+// fault-induced bending, across all sweeps in the process. The eaexp
+// progress reporter samples it live; it is monitoring state, not a result
+// (results carry their own Degradation tallies).
+var DegradedRuns atomic.Int64
+
+// tallyDegraded feeds the live degradation counter from one finished run.
+func tallyDegraded(res *sim.Result) {
+	if res != nil && res.Degradation.Any() {
+		DegradedRuns.Add(1)
+	}
+}
+
+// recordRun is the per-run observability tail every experiment runner
+// calls: the live degradation tally, plus the spec's aggregate metrics
+// registry when one is attached.
+func (s Spec) recordRun(res *sim.Result) {
+	tallyDegraded(res)
+	if s.Metrics != nil && res != nil {
+		RecordRunMetrics(s.Metrics, res)
+	}
+}
+
+// RecordRunMetrics tallies one run's outcome into the registry under the
+// eadvfs_run_* namespace: job outcomes, the busy/idle/stall time split,
+// delivered CPU energy, and a per-run miss-rate summary. Counters
+// accumulate across runs, so after a sweep the registry holds the sweep
+// totals.
+func RecordRunMetrics(reg *obs.Registry, res *sim.Result) {
+	reg.Counter("eadvfs_runs_total", "completed simulation runs").Inc()
+	const jobsHelp = "jobs by outcome across runs"
+	reg.Counter(obs.Labeled("eadvfs_run_jobs_total", "outcome", "released"), jobsHelp).Add(float64(res.Miss.Released))
+	reg.Counter(obs.Labeled("eadvfs_run_jobs_total", "outcome", "finished"), jobsHelp).Add(float64(res.Miss.Finished))
+	reg.Counter(obs.Labeled("eadvfs_run_jobs_total", "outcome", "missed"), jobsHelp).Add(float64(res.Miss.Missed))
+	const timeHelp = "simulated time by processor mode across runs"
+	reg.Counter(obs.Labeled("eadvfs_run_time_total", "mode", "busy"), timeHelp).Add(res.BusyTime)
+	reg.Counter(obs.Labeled("eadvfs_run_time_total", "mode", "idle"), timeHelp).Add(res.IdleTime)
+	reg.Counter(obs.Labeled("eadvfs_run_time_total", "mode", "stall"), timeHelp).Add(res.StallTime)
+	reg.Counter("eadvfs_run_cpu_energy_total", "energy delivered to the processor across runs").Add(res.CPUEnergy)
+	reg.Summary("eadvfs_run_miss_rate", "per-run deadline miss rate").Observe(res.Miss.Rate())
+	if res.Degradation.Any() {
+		reg.Counter("eadvfs_run_degraded_total", "runs with any fault-induced degradation").Inc()
+	}
+}
 
 // PolicyFactory builds a fresh policy instance per run (EA-DVFS carries
 // per-job state, so instances must not be shared across runs).
@@ -112,6 +159,19 @@ type Spec struct {
 	// absolute scale implicit; DefaultSpec calibrates it so the miss-rate
 	// dynamic range matches Figures 8–9 (DESIGN.md §5.3).
 	PMax float64
+
+	// Probe, when non-nil, observes every run of the experiment
+	// (sim.Config.Probe). Shared across the parallel workers, so it must be
+	// safe for concurrent use (obs.JSONLWriter and obs.MetricsProbe are).
+	// Excluded from serialization: a manifest identifies the experiment,
+	// not its observers.
+	Probe obs.Probe `json:"-"`
+
+	// Metrics, when non-nil, additionally receives per-run aggregate
+	// series (RecordRunMetrics) from every finished run. Registry handles
+	// are concurrency-safe, so one registry serves all workers. Excluded
+	// from serialization for the same reason as Probe.
+	Metrics *obs.Registry `json:"-"`
 }
 
 // Processor returns the spec's calibrated XScale processor.
@@ -277,6 +337,9 @@ func RunOne(s Spec, rep Replication, capacity float64, pf PolicyFactory, record 
 		Policy:       pf(),
 		RecordEnergy: record,
 		MaxEvents:    defaultEventBudget(s.Horizon),
+		Probe:        s.Probe,
 	}
-	return sim.Run(cfg)
+	res, err := sim.Run(cfg)
+	s.recordRun(res)
+	return res, err
 }

@@ -20,6 +20,13 @@ var Parallelism = runtime.GOMAXPROCS(0)
 // TransientError is re-executed before its error sticks.
 const maxJobAttempts = 3
 
+// Progress, when non-nil, is invoked after every finished parallel job with
+// the number of jobs done so far and the batch total. Calls are serialized
+// (one at a time), so the reporter needs no locking of its own; it must be
+// fast — it runs on the worker's critical path. The eaexp live progress
+// line is the intended consumer.
+var Progress func(done, total int)
+
 // job is one unit of parallel work, identified by its slot in the output.
 type job struct {
 	slot int
@@ -86,6 +93,7 @@ func runParallelPartial(jobs []job, keepGoing bool) (map[int]error, int) {
 		errs      = make(map[int]error)
 		cancelled atomic.Bool
 		skipped   int
+		done      int
 	)
 	record := func(slot int, err error) {
 		mu.Lock()
@@ -94,6 +102,18 @@ func runParallelPartial(jobs []job, keepGoing bool) (map[int]error, int) {
 		if !keepGoing {
 			cancelled.Store(true)
 		}
+	}
+	// Snapshot the hook once: reporters are installed before the batch
+	// starts, and a stable local avoids racing a reassignment mid-batch.
+	progress := Progress
+	finished := func() {
+		if progress == nil {
+			return
+		}
+		mu.Lock()
+		done++
+		progress(done, len(jobs))
+		mu.Unlock()
 	}
 	if workers <= 1 {
 		// Serial path: same pickup-time cancellation semantics.
@@ -105,6 +125,7 @@ func runParallelPartial(jobs []job, keepGoing bool) (map[int]error, int) {
 			if err := runJob(j); err != nil {
 				record(j.slot, err)
 			}
+			finished()
 		}
 		return errs, skipped
 	}
@@ -135,6 +156,7 @@ func runParallelPartial(jobs []job, keepGoing bool) (map[int]error, int) {
 				if err := runJob(j); err != nil {
 					record(j.slot, err)
 				}
+				finished()
 			}
 		}()
 	}

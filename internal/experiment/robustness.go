@@ -255,9 +255,12 @@ func runFaulted(s Spec, rep Replication, capacity float64, pf PolicyFactory, fsp
 		CPU:       s.Processor(),
 		Policy:    pf(),
 		MaxEvents: defaultEventBudget(s.Horizon),
+		Probe:     s.Probe,
 	}
 	if fspec.Enabled() {
 		cfg.Faults = &fspec
 	}
-	return sim.Run(cfg)
+	res, err := sim.Run(cfg)
+	s.recordRun(res)
+	return res, err
 }

@@ -190,7 +190,7 @@ func runWith(s Spec, rep Replication, capacity float64, pf PolicyFactory, proc *
 		return nil, err
 	}
 	src := rep.Source()
-	return sim.Run(&sim.Config{
+	res, err := sim.Run(&sim.Config{
 		Horizon:   s.Horizon,
 		Tasks:     rep.Tasks,
 		Source:    src,
@@ -198,7 +198,10 @@ func runWith(s Spec, rep Replication, capacity float64, pf PolicyFactory, proc *
 		Store:     storage.NewIdeal(capacity),
 		CPU:       proc,
 		Policy:    pf(),
+		Probe:     s.Probe,
 	})
+	s.recordRun(res)
+	return res, err
 }
 
 // repIndexOf recovers a replication's index so sweeps that re-derive the

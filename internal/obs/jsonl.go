@@ -1,0 +1,222 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+)
+
+// JSONLSchemaVersion is the structured-event stream schema version. Every
+// line carries it as "v"; CheckJSONL rejects any other value.
+//
+// Schema v1: one JSON object per line, two line types.
+//
+//	{"v":1,"type":"event","t":<float>,"kind":<EventKind>,
+//	 "task":<int>,"seq":<int>,
+//	 "level":<int, dispatch/segment/fault only>,
+//	 "start":<float, segment only>,"mode":<string, segment only>,
+//	 "detail":<string, fault/invariant only>}
+//
+//	{"v":1,"type":"decision","t":<float>,"policy":<string>,
+//	 "task":<int>,"seq":<int>,"deadline":<float>,"slack":<float>,
+//	 "stored":<float>,"predicted":<float>,"available":<float>,
+//	 "s1":<float>,"s2":<float>,"level":<int, -1 when idling>,
+//	 "speed":<float>,"until":<float, omitted when +Inf>,
+//	 "reason":<Reason>}
+//
+// Numeric fields are finite (an infinite "until" — "until the next event"
+// — is omitted rather than encoded). Unknown kinds and reason codes are
+// schema violations: the known sets are part of the schema.
+const JSONLSchemaVersion = 1
+
+// eventLine is the schema-v1 wire form of an Event.
+type eventLine struct {
+	V      int       `json:"v"`
+	Type   string    `json:"type"`
+	T      float64   `json:"t"`
+	Kind   EventKind `json:"kind"`
+	Task   int       `json:"task"`
+	Seq    int       `json:"seq"`
+	Level  *int      `json:"level,omitempty"`
+	Start  *float64  `json:"start,omitempty"`
+	Mode   string    `json:"mode,omitempty"`
+	Detail string    `json:"detail,omitempty"`
+}
+
+// decisionLine is the schema-v1 wire form of a DecisionRecord.
+type decisionLine struct {
+	V         int      `json:"v"`
+	Type      string   `json:"type"`
+	T         float64  `json:"t"`
+	Policy    string   `json:"policy"`
+	Task      int      `json:"task"`
+	Seq       int      `json:"seq"`
+	Deadline  float64  `json:"deadline"`
+	Slack     float64  `json:"slack"`
+	Stored    float64  `json:"stored"`
+	Predicted float64  `json:"predicted"`
+	Available float64  `json:"available"`
+	S1        float64  `json:"s1"`
+	S2        float64  `json:"s2"`
+	Level     int      `json:"level"`
+	Speed     float64  `json:"speed"`
+	Until     *float64 `json:"until,omitempty"`
+	Reason    Reason   `json:"reason"`
+}
+
+// JSONLWriter is a Probe that streams schema-v1 lines to an io.Writer.
+// Lines are written atomically under a mutex, so one writer may be shared
+// by the experiment harness's parallel runs (lines from concurrent runs
+// interleave, each line stays intact). Call Flush before reading the
+// output.
+type JSONLWriter struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONLWriter wraps w in a buffered schema-v1 stream.
+func NewJSONLWriter(w io.Writer) *JSONLWriter {
+	bw := bufio.NewWriter(w)
+	return &JSONLWriter{w: bw, enc: json.NewEncoder(bw)}
+}
+
+// OnEvent implements Probe.
+func (jw *JSONLWriter) OnEvent(ev Event) {
+	line := eventLine{
+		V: JSONLSchemaVersion, Type: "event",
+		T: ev.Time, Kind: ev.Kind, Task: ev.TaskID, Seq: ev.Seq,
+		Mode: ev.Mode, Detail: ev.Detail,
+	}
+	switch ev.Kind {
+	case KindDispatch, KindSegment, KindFault:
+		lv := ev.Level
+		line.Level = &lv
+	}
+	if ev.Kind == KindSegment {
+		st := ev.Start
+		line.Start = &st
+	}
+	jw.encode(&line)
+}
+
+// OnDecision implements Probe.
+func (jw *JSONLWriter) OnDecision(d DecisionRecord) {
+	line := decisionLine{
+		V: JSONLSchemaVersion, Type: "decision",
+		T: d.Time, Policy: d.Policy, Task: d.TaskID, Seq: d.Seq,
+		Deadline: d.Deadline, Slack: d.Slack,
+		Stored: d.Stored, Predicted: d.Predicted, Available: d.Available,
+		S1: d.S1, S2: d.S2, Level: d.Level, Speed: d.Speed,
+		Reason: d.Reason,
+	}
+	if !math.IsInf(d.Until, 0) {
+		u := d.Until
+		line.Until = &u
+	}
+	jw.encode(&line)
+}
+
+func (jw *JSONLWriter) encode(line any) {
+	jw.mu.Lock()
+	if jw.err == nil {
+		jw.err = jw.enc.Encode(line)
+	}
+	jw.mu.Unlock()
+}
+
+// Flush drains the buffer and returns the first error encountered by any
+// write.
+func (jw *JSONLWriter) Flush() error {
+	jw.mu.Lock()
+	defer jw.mu.Unlock()
+	if err := jw.w.Flush(); err != nil && jw.err == nil {
+		jw.err = err
+	}
+	return jw.err
+}
+
+// CheckJSONL validates a schema-v1 stream line by line and returns the
+// number of valid lines. The first malformed line fails the whole stream
+// with its line number. Empty streams are valid (a run can emit nothing).
+func CheckJSONL(r io.Reader) (int, error) {
+	knownKinds := make(map[EventKind]bool)
+	for _, k := range KnownEventKinds() {
+		knownKinds[k] = true
+	}
+	knownReasons := make(map[Reason]bool)
+	for _, rs := range KnownReasons() {
+		knownReasons[rs] = true
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	n := 0
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var head struct {
+			V    int    `json:"v"`
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(raw, &head); err != nil {
+			return n, fmt.Errorf("obs: line %d: not a JSON object: %w", lineNo, err)
+		}
+		if head.V != JSONLSchemaVersion {
+			return n, fmt.Errorf("obs: line %d: schema version %d, want %d", lineNo, head.V, JSONLSchemaVersion)
+		}
+		switch head.Type {
+		case "event":
+			var ev eventLine
+			if err := strictUnmarshal(raw, &ev); err != nil {
+				return n, fmt.Errorf("obs: line %d: bad event: %w", lineNo, err)
+			}
+			if !knownKinds[ev.Kind] {
+				return n, fmt.Errorf("obs: line %d: unknown event kind %q", lineNo, ev.Kind)
+			}
+			if math.IsNaN(ev.T) || math.IsInf(ev.T, 0) {
+				return n, fmt.Errorf("obs: line %d: non-finite time", lineNo)
+			}
+		case "decision":
+			var d decisionLine
+			if err := strictUnmarshal(raw, &d); err != nil {
+				return n, fmt.Errorf("obs: line %d: bad decision: %w", lineNo, err)
+			}
+			if !knownReasons[d.Reason] {
+				return n, fmt.Errorf("obs: line %d: unknown reason code %q", lineNo, d.Reason)
+			}
+			if d.Policy == "" {
+				return n, fmt.Errorf("obs: line %d: decision without policy", lineNo)
+			}
+			for _, f := range []float64{d.T, d.Slack, d.Stored, d.Available} {
+				if math.IsNaN(f) || math.IsInf(f, 0) {
+					return n, fmt.Errorf("obs: line %d: non-finite numeric field", lineNo)
+				}
+			}
+		default:
+			return n, fmt.Errorf("obs: line %d: unknown line type %q", lineNo, head.Type)
+		}
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		return n, fmt.Errorf("obs: reading stream: %w", err)
+	}
+	return n, nil
+}
+
+// strictUnmarshal rejects fields outside the schema struct, so a typo'd
+// producer fails validation instead of silently passing.
+func strictUnmarshal(raw []byte, into any) error {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	return dec.Decode(into)
+}

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"github.com/eadvfs/eadvfs/internal/buildinfo"
+)
+
+// ManifestSchemaVersion is the run-manifest schema version.
+const ManifestSchemaVersion = 1
+
+// Manifest records everything needed to reproduce a run: the tool and
+// build that produced it (go version, VCS revision, dirty bit), the
+// policy and seeds, and the full serialized configuration together with
+// its SHA-256 digest. A figure whose artifact carries a manifest can be
+// regenerated bit-identically by feeding the embedded config back into the
+// same tool (easim -replay); the digest ties result files to the exact
+// configuration that produced them.
+type Manifest struct {
+	Schema      int    `json:"schema"`
+	Tool        string `json:"tool"`
+	GoVersion   string `json:"go_version"`
+	VCSRevision string `json:"vcs_revision,omitempty"`
+	VCSTime     string `json:"vcs_time,omitempty"`
+	VCSDirty    bool   `json:"vcs_dirty"`
+
+	// Policy names the scheduling policy (or experiment) of the run.
+	Policy string `json:"policy,omitempty"`
+	// Seeds are the named deterministic seeds of the run (e.g. "seed",
+	// "fault-seed").
+	Seeds map[string]uint64 `json:"seeds,omitempty"`
+
+	// Config is the run's full serialized configuration; Digest is the
+	// lowercase hex SHA-256 of its compact (whitespace-free) form, so the
+	// digest survives re-indentation by pretty printers.
+	Config json.RawMessage `json:"config"`
+	Digest string          `json:"config_digest"`
+}
+
+// NewManifest builds a manifest for the named tool around config, which
+// must be JSON-marshalable. Build identity comes from
+// debug.ReadBuildInfo (via internal/buildinfo).
+func NewManifest(tool, policy string, seeds map[string]uint64, config any) (*Manifest, error) {
+	raw, err := json.Marshal(config)
+	if err != nil {
+		return nil, fmt.Errorf("obs: manifest config: %w", err)
+	}
+	bi := buildinfo.Get()
+	return &Manifest{
+		Schema:      ManifestSchemaVersion,
+		Tool:        tool,
+		GoVersion:   bi.GoVersion,
+		VCSRevision: bi.Revision,
+		VCSTime:     bi.Time,
+		VCSDirty:    bi.Dirty,
+		Policy:      policy,
+		Seeds:       seeds,
+		Config:      raw,
+		Digest:      digest(raw),
+	}, nil
+}
+
+// digest hashes the compact form of raw: MarshalIndent on the enclosing
+// manifest re-indents the embedded RawMessage, so hashing the bytes
+// verbatim would break write→read round trips.
+func digest(raw []byte) string {
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, raw); err == nil {
+		raw = buf.Bytes()
+	}
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:])
+}
+
+// Validate checks the manifest's schema version and that the digest
+// matches the embedded config bytes.
+func (m *Manifest) Validate() error {
+	if m.Schema != ManifestSchemaVersion {
+		return fmt.Errorf("obs: manifest schema %d, want %d", m.Schema, ManifestSchemaVersion)
+	}
+	if len(m.Config) == 0 {
+		return fmt.Errorf("obs: manifest without config")
+	}
+	if got := digest(m.Config); got != m.Digest {
+		return fmt.Errorf("obs: manifest digest mismatch: config hashes to %s, manifest says %s", got, m.Digest)
+	}
+	return nil
+}
+
+// DecodeConfig unmarshals the embedded configuration into the target,
+// rejecting fields the target does not declare (a manifest from a newer
+// config schema fails loudly instead of silently dropping settings).
+func (m *Manifest) DecodeConfig(into any) error {
+	if err := strictUnmarshal(m.Config, into); err != nil {
+		return fmt.Errorf("obs: manifest config: %w", err)
+	}
+	return nil
+}
+
+// WriteFile writes the manifest as indented JSON.
+func (m *Manifest) WriteFile(path string) error {
+	buf, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("obs: manifest: %w", err)
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// ReadManifest loads and validates a manifest file.
+func ReadManifest(path string) (*Manifest, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("obs: manifest %s: %w", path, err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("%w (in %s)", err, path)
+	}
+	return &m, nil
+}

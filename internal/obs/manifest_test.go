@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+type testConfig struct {
+	Horizon float64 `json:"horizon"`
+	Policy  string  `json:"policy"`
+	Seed    uint64  `json:"seed"`
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	cfg := testConfig{Horizon: 10000, Policy: "ea-dvfs", Seed: 42}
+	m, err := NewManifest("easim", cfg.Policy, map[string]uint64{"seed": cfg.Seed}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// WriteFile pretty-prints, which re-indents the embedded config; the
+	// digest must survive that (it hashes the compact form).
+	path := filepath.Join(t.TempDir(), "man.json")
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Tool != "easim" || back.Policy != "ea-dvfs" || back.Seeds["seed"] != 42 {
+		t.Fatalf("round-tripped manifest lost fields: %+v", back)
+	}
+	if back.Digest != m.Digest {
+		t.Fatalf("digest changed across write/read: %s vs %s", back.Digest, m.Digest)
+	}
+
+	var got testConfig
+	if err := back.DecodeConfig(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got != cfg {
+		t.Fatalf("decoded config %+v, want %+v", got, cfg)
+	}
+}
+
+func TestManifestDetectsTampering(t *testing.T) {
+	m, err := NewManifest("easim", "lsa", nil, testConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Config = []byte(`{"horizon":0,"policy":"lsa","seed":2}`)
+	if err := m.Validate(); err == nil || !strings.Contains(err.Error(), "digest mismatch") {
+		t.Fatalf("tampered config must fail validation, got %v", err)
+	}
+}
+
+func TestManifestRejectsWrongSchema(t *testing.T) {
+	m, err := NewManifest("easim", "", nil, testConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Schema = 99
+	if err := m.Validate(); err == nil {
+		t.Fatal("wrong schema version must fail validation")
+	}
+}
+
+// A manifest written by a newer tool whose config grew fields must fail
+// DecodeConfig loudly instead of silently dropping the extras.
+func TestDecodeConfigRejectsUnknownFields(t *testing.T) {
+	type newer struct {
+		testConfig
+		Extra int `json:"extra"`
+	}
+	m, err := NewManifest("easim", "", nil, newer{Extra: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got testConfig
+	if err := m.DecodeConfig(&got); err == nil {
+		t.Fatal("unknown config field must be rejected")
+	}
+}
+
+func TestDigestIsIndentationInvariant(t *testing.T) {
+	compact := digest([]byte(`{"a":1,"b":[1,2]}`))
+	indented := digest([]byte("{\n  \"a\": 1,\n  \"b\": [\n    1,\n    2\n  ]\n}"))
+	if compact != indented {
+		t.Fatalf("digest must be whitespace-invariant: %s vs %s", compact, indented)
+	}
+}

@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMultiNilHandling(t *testing.T) {
+	if Multi() != nil {
+		t.Fatal("Multi() should be nil")
+	}
+	if Multi(nil, nil) != nil {
+		t.Fatal("Multi(nil, nil) should be nil")
+	}
+	r := NewRecorder()
+	if got := Multi(nil, r, nil); got != Probe(r) {
+		t.Fatalf("Multi with one live probe should return it directly, got %T", got)
+	}
+}
+
+func TestMultiFansOut(t *testing.T) {
+	a, b := NewRecorder(), NewRecorder()
+	m := Multi(a, nil, b)
+	m.OnEvent(Event{Time: 1, Kind: KindArrival, TaskID: 3, Seq: 0})
+	m.OnDecision(DecisionRecord{Time: 1, Policy: "lsa", Reason: ReasonIdleNoJob})
+	for i, rec := range []*Recorder{a, b} {
+		if len(rec.Events()) != 1 || len(rec.Decisions()) != 1 {
+			t.Fatalf("probe %d: got %d events, %d decisions, want 1 and 1",
+				i, len(rec.Events()), len(rec.Decisions()))
+		}
+	}
+}
+
+func TestRecorderAccessorsCopy(t *testing.T) {
+	var rec Recorder // zero value is usable
+	rec.OnEvent(Event{Time: 2, Kind: KindMiss, TaskID: 1, Seq: 4})
+	rec.OnDecision(DecisionRecord{Time: 2, Policy: "ea-dvfs", Reason: ReasonStretchSlackRich})
+
+	evs := rec.Events()
+	evs[0].TaskID = 99
+	if rec.Events()[0].TaskID != 1 {
+		t.Fatal("Events() must return a copy")
+	}
+	decs := rec.Decisions()
+	decs[0].Policy = "tampered"
+	if rec.Decisions()[0].Policy != "ea-dvfs" {
+		t.Fatal("Decisions() must return a copy")
+	}
+}
+
+// The known sets are part of the JSONL schema: every declared constant
+// must be in its set, with no duplicates.
+func TestKnownSetsAreComplete(t *testing.T) {
+	kinds := KnownEventKinds()
+	wantKinds := []EventKind{KindArrival, KindDispatch, KindSegment,
+		KindCompletion, KindMiss, KindStall, KindFault, KindInvariant}
+	if len(kinds) != len(wantKinds) {
+		t.Fatalf("KnownEventKinds has %d entries, want %d", len(kinds), len(wantKinds))
+	}
+	seenK := make(map[EventKind]bool)
+	for _, k := range kinds {
+		if seenK[k] {
+			t.Fatalf("duplicate event kind %q", k)
+		}
+		seenK[k] = true
+	}
+	for _, k := range wantKinds {
+		if !seenK[k] {
+			t.Fatalf("event kind %q missing from KnownEventKinds", k)
+		}
+	}
+
+	reasons := KnownReasons()
+	wantReasons := []Reason{ReasonFullSpeedEnergyRich, ReasonFullSpeedEnergyPoor,
+		ReasonFullSpeedInfeasible, ReasonStretchSlackRich, ReasonIdleRecharge,
+		ReasonIdleNoJob}
+	if len(reasons) != len(wantReasons) {
+		t.Fatalf("KnownReasons has %d entries, want %d", len(reasons), len(wantReasons))
+	}
+	seenR := make(map[Reason]bool)
+	for _, r := range reasons {
+		if seenR[r] {
+			t.Fatalf("duplicate reason %q", r)
+		}
+		seenR[r] = true
+	}
+	for _, r := range wantReasons {
+		if !seenR[r] {
+			t.Fatalf("reason %q missing from KnownReasons", r)
+		}
+	}
+}
+
+func TestRecorderConcurrentSafe(t *testing.T) {
+	rec := NewRecorder()
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 100; i++ {
+			rec.OnEvent(Event{Time: float64(i), Kind: KindArrival})
+		}
+		close(done)
+	}()
+	for i := 0; i < 100; i++ {
+		rec.OnDecision(DecisionRecord{Time: float64(i), Reason: ReasonIdleNoJob, Until: math.Inf(1)})
+	}
+	<-done
+	if len(rec.Events()) != 100 || len(rec.Decisions()) != 100 {
+		t.Fatalf("got %d events, %d decisions, want 100 each",
+			len(rec.Events()), len(rec.Decisions()))
+	}
+}

@@ -11,6 +11,7 @@ import (
 
 	"github.com/eadvfs/eadvfs/internal/cpu"
 	"github.com/eadvfs/eadvfs/internal/energy"
+	"github.com/eadvfs/eadvfs/internal/obs"
 	"github.com/eadvfs/eadvfs/internal/task"
 )
 
@@ -31,6 +32,51 @@ type Context struct {
 	Capacity  float64 // C, possibly +Inf
 	CPU       *cpu.Processor
 	Predictor energy.Predictor
+
+	// Probe, when non-nil, receives decision-audit records
+	// (internal/obs). Policies emit through Audit, which nil-checks, so
+	// the disabled path stays allocation-free.
+	Probe obs.Probe
+}
+
+// Audit sends a decision-audit record to the attached probe, if any.
+// Policies should guard the record construction itself with Auditing when
+// filling it requires extra computation.
+func (c *Context) Audit(rec obs.DecisionRecord) {
+	if c.Probe != nil {
+		c.Probe.OnDecision(rec)
+	}
+}
+
+// Auditing reports whether a probe is attached — i.e. whether building an
+// audit record is worth the work.
+func (c *Context) Auditing() bool { return c.Probe != nil }
+
+// AuditJob emits the standard job-decision audit record: the job's window,
+// the energy estimate the policy used, its s1/s2 instants and what it
+// chose. No-op without a probe; a plain method (not a closure) so the
+// disabled path allocates nothing. Pass level -1 for idle decisions;
+// j may be nil (empty queue).
+func (c *Context) AuditJob(policy string, j *task.Job, available, s1, s2 float64, level int, until float64, reason obs.Reason) {
+	if c.Probe == nil {
+		return
+	}
+	rec := obs.DecisionRecord{
+		Time: c.Now, Policy: policy, TaskID: -1, Seq: -1,
+		Stored: c.Stored, S1: s1, S2: s2,
+		Level: level, Until: until, Reason: reason,
+	}
+	if j != nil {
+		rec.TaskID, rec.Seq = j.TaskID, j.Seq
+		rec.Deadline = j.Abs
+		rec.Slack = j.Abs - c.Now
+		rec.Predicted = available - c.Stored
+		rec.Available = available
+	}
+	if level >= 0 {
+		rec.Speed = c.CPU.Speed(level)
+	}
+	c.Probe.OnDecision(rec)
 }
 
 // AvailableEnergy returns the paper's EC(am) + ÊS(am, am+dm) estimate for a
@@ -114,13 +160,27 @@ func (LSA) Name() string { return "lsa" }
 func (LSA) Decide(ctx *Context) Decision {
 	j := ctx.Queue.Peek()
 	if j == nil {
+		ctx.AuditJob("lsa", nil, 0, 0, 0, -1, math.Inf(1), obs.ReasonIdleNoJob)
 		return Idle(math.Inf(1))
 	}
 	available := ctx.AvailableEnergy(j.Abs)
 	srMax := available / ctx.CPU.MaxPower()
 	s2 := math.Max(ctx.Now, j.Abs-srMax)
+
 	if ctx.Now < s2-timeEps {
+		ctx.AuditJob("lsa", j, available, s2, s2, -1, s2, obs.ReasonIdleRecharge)
 		return Idle(s2)
+	}
+	if ctx.Auditing() {
+		// Distinguish the paper's two ways of reaching a full-speed
+		// start: energy-rich (flat-out from now to the deadline is
+		// affordable, the s2 = now degenerate case) versus the lazy
+		// start at a genuine s2.
+		reason := obs.ReasonFullSpeedEnergyPoor
+		if srMax >= j.Abs-ctx.Now-timeEps {
+			reason = obs.ReasonFullSpeedEnergyRich
+		}
+		ctx.AuditJob("lsa", j, available, s2, s2, ctx.CPU.MaxLevel(), math.Inf(1), reason)
 	}
 	return Run(j, ctx.CPU.MaxLevel(), math.Inf(1))
 }

@@ -21,6 +21,7 @@ import (
 	"github.com/eadvfs/eadvfs/internal/energy"
 	"github.com/eadvfs/eadvfs/internal/fault"
 	"github.com/eadvfs/eadvfs/internal/metrics"
+	"github.com/eadvfs/eadvfs/internal/obs"
 	"github.com/eadvfs/eadvfs/internal/rng"
 	"github.com/eadvfs/eadvfs/internal/sched"
 	"github.com/eadvfs/eadvfs/internal/storage"
@@ -118,6 +119,14 @@ type Config struct {
 
 	// Tracer, when non-nil, receives schedule segments and events.
 	Tracer Tracer
+
+	// Probe, when non-nil, receives structured observability events
+	// (internal/obs): arrivals, dispatches, segments, completions, misses,
+	// stalls, fault activations and invariant violations — plus the
+	// policy's decision-audit records via sched.Context. Every emission is
+	// nil-guarded at the call site, so a run without a probe pays nothing
+	// (enforced by the benchmark guard against BENCH_baseline.json).
+	Probe obs.Probe
 
 	// Faults, when non-nil and enabled, injects the declared substrate
 	// faults into the run: the source, store and predictor are wrapped,
@@ -313,7 +322,7 @@ func Run(cfg *Config) (*Result, error) {
 		},
 	}
 	if cfg.CheckInvariants {
-		e.inv = &invariantChecker{}
+		e.inv = &invariantChecker{probe: cfg.Probe}
 	}
 	e.initialLevel = cfg.Store.Level()
 	if cfg.BCWCRatio > 0 && cfg.BCWCRatio < 1 {
@@ -527,6 +536,12 @@ func (e *engine) setActivity(now float64, mode Mode, j *task.Job, level int) {
 		return
 	}
 	e.closeSegment(now)
+	if mode == ModeRun && e.cfg.Probe != nil {
+		e.cfg.Probe.OnEvent(obs.Event{
+			Time: now, Kind: obs.KindDispatch,
+			TaskID: j.TaskID, Seq: j.Seq, Level: level,
+		})
+	}
 	if mode == ModeRun {
 		if e.lastRunLv >= 0 && e.lastRunLv != level {
 			e.res.Switches++
@@ -545,15 +560,38 @@ func (e *engine) setActivity(now float64, mode Mode, j *task.Job, level int) {
 
 // closeSegment emits the trace segment ending at now, if any.
 func (e *engine) closeSegment(now float64) {
-	if e.cfg.Tracer != nil && now > e.segStart {
-		e.cfg.Tracer.OnSegment(e.segStart, now, e.mode, e.running, e.level)
+	if now > e.segStart {
+		if e.cfg.Tracer != nil {
+			e.cfg.Tracer.OnSegment(e.segStart, now, e.mode, e.running, e.level)
+		}
+		if e.cfg.Probe != nil {
+			ev := obs.Event{
+				Time: now, Kind: obs.KindSegment,
+				TaskID: -1, Seq: -1,
+				Start: e.segStart, Mode: e.mode.String(), Level: e.level,
+			}
+			if e.running != nil {
+				ev.TaskID, ev.Seq = e.running.TaskID, e.running.Seq
+			}
+			e.cfg.Probe.OnEvent(ev)
+		}
 	}
 	e.segStart = now
 }
 
+// emit reports a point event to the tracer and the probe. The tracer kind
+// strings coincide with the obs.EventKind values, so one call site serves
+// both sinks.
 func (e *engine) emit(t float64, kind string, j *task.Job) {
 	if e.cfg.Tracer != nil {
 		e.cfg.Tracer.OnEvent(t, kind, j)
+	}
+	if e.cfg.Probe != nil {
+		ev := obs.Event{Time: t, Kind: obs.EventKind(kind), TaskID: -1, Seq: -1}
+		if j != nil {
+			ev.TaskID, ev.Seq = j.TaskID, j.Seq
+		}
+		e.cfg.Probe.OnEvent(ev)
 	}
 }
 
@@ -704,6 +742,7 @@ func (e *engine) onDecide(now float64) {
 		Capacity:  e.cfg.Store.Capacity(),
 		CPU:       e.cfg.CPU,
 		Predictor: e.cfg.Predictor,
+		Probe:     e.cfg.Probe,
 	}
 	d := e.cfg.Policy.Decide(&e.ctx)
 	e.res.Decisions++
@@ -739,7 +778,15 @@ func (e *engine) onDecide(now float64) {
 	// engine/policy bug.
 	level := d.Level
 	if e.faults != nil {
-		level = e.cfg.CPU.ClampLevel(e.faults.DVFSLevel(now, e.lastRunLv, e.cfg.CPU.ClampLevel(level)))
+		requested := e.cfg.CPU.ClampLevel(level)
+		level = e.cfg.CPU.ClampLevel(e.faults.DVFSLevel(now, e.lastRunLv, requested))
+		if level != requested && e.cfg.Probe != nil {
+			e.cfg.Probe.OnEvent(obs.Event{
+				Time: now, Kind: obs.KindFault,
+				TaskID: d.Job.TaskID, Seq: d.Job.Seq,
+				Level: level, Detail: "dvfs-clamp",
+			})
+		}
 	}
 
 	ps := e.cfg.Source.PowerAt(now)

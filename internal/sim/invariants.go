@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"strings"
+
+	"github.com/eadvfs/eadvfs/internal/obs"
 )
 
 // maxViolations bounds how many violations one run records: the first few
@@ -75,9 +77,18 @@ type invariantChecker struct {
 	violations []InvariantViolation
 	truncated  bool
 	lastEvent  float64
+	probe      obs.Probe // forwarded violations; nil when unobserved
 }
 
 func (c *invariantChecker) record(kind string, t float64, format string, args ...any) {
+	detail := fmt.Sprintf(format, args...)
+	if c.probe != nil {
+		c.probe.OnEvent(obs.Event{
+			Time: t, Kind: obs.KindInvariant,
+			TaskID: -1, Seq: -1,
+			Detail: kind + ": " + detail,
+		})
+	}
 	if len(c.violations) >= maxViolations {
 		c.truncated = true
 		return
@@ -85,7 +96,7 @@ func (c *invariantChecker) record(kind string, t float64, format string, args ..
 	c.violations = append(c.violations, InvariantViolation{
 		Kind:   kind,
 		Time:   t,
-		Detail: fmt.Sprintf(format, args...),
+		Detail: detail,
 	})
 }
 

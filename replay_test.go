@@ -1,0 +1,97 @@
+package eadvfs
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"github.com/eadvfs/eadvfs/internal/obs"
+)
+
+// A run manifest must reproduce its run bit-identically: serializing the
+// config into a manifest, writing it to disk, reading it back, decoding
+// and re-running yields byte-for-byte the same result — the contract
+// behind `easim -replay`.
+func TestManifestReplayIsBitIdentical(t *testing.T) {
+	cfg := Config{
+		Horizon:     500,
+		Policy:      "ea-dvfs",
+		Utilization: 0.6,
+		Seed:        7,
+		NumTasks:    4,
+	}
+	first, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := obs.NewManifest("easim", cfg.Policy, map[string]uint64{"seed": cfg.Seed}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "manifest.json")
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	back, err := obs.ReadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var replayCfg Config
+	if err := back.DecodeConfig(&replayCfg); err != nil {
+		t.Fatal(err)
+	}
+	second, err := Run(replayCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("replayed run differs:\nfirst:  %+v\nsecond: %+v", first, second)
+	}
+	// Bit-identical means the serialized artifacts match too.
+	b1, _ := json.Marshal(first)
+	b2, _ := json.Marshal(second)
+	if string(b1) != string(b2) {
+		t.Fatalf("serialized results differ:\n%s\n%s", b1, b2)
+	}
+}
+
+// The facade's Probe field reaches the engine: a recorder attached through
+// the public Config observes the run's events and decisions, and the Probe
+// is excluded from config serialization (a manifest identifies the
+// simulation, not its observers).
+func TestFacadeProbe(t *testing.T) {
+	rec := obs.NewRecorder()
+	cfg := Config{Horizon: 300, Seed: 3, Probe: rec}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arrivals := 0
+	for _, ev := range rec.Events() {
+		if ev.Kind == obs.KindArrival {
+			arrivals++
+		}
+	}
+	if arrivals != res.Released {
+		t.Fatalf("probe saw %d arrivals, result says %d released", arrivals, res.Released)
+	}
+	if len(rec.Decisions()) == 0 {
+		t.Fatal("no decision audits reached the probe")
+	}
+
+	raw, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var asMap map[string]any
+	if err := json.Unmarshal(raw, &asMap); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := asMap["Probe"]; ok {
+		t.Fatal("Probe must not serialize into config JSON")
+	}
+}
