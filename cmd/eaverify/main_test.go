@@ -1,0 +1,69 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/eadvfs/eadvfs/internal/verify"
+)
+
+// TestCleanSweep: a small sweep of healthy seeds exits 0 and reports the
+// count it checked.
+func TestCleanSweep(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-n", "5", "-seed", "1"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s stdout: %s", code, errb.String(), out.String())
+	}
+	if !strings.Contains(out.String(), "OK: 5 configuration(s)") {
+		t.Fatalf("unexpected output: %s", out.String())
+	}
+}
+
+// TestInjectedDivergenceWorkflow: with a predictor bias injected into the
+// optimized side, the binary must detect the divergence, minimize the
+// spec, dump both audit logs side by side, write the repro file, and exit
+// 1 — the full debugging workflow from the README.
+func TestInjectedDivergenceWorkflow(t *testing.T) {
+	reproPath := filepath.Join(t.TempDir(), "repro.json")
+	var out, errb bytes.Buffer
+	code := run([]string{
+		"-n", "1", "-seed", "42",
+		"-inject-bias", "1e-6",
+		"-spec-out", reproPath,
+	}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("want exit 1 on divergence, got %d\nstdout: %s\nstderr: %s",
+			code, out.String(), errb.String())
+	}
+	text := out.String()
+	for _, want := range []string{"DIVERGENCE at seed 42", "minimized to", ">>>", "opt:", "ref:", "spec written to"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("output missing %q:\n%s", want, text)
+		}
+	}
+
+	// The written repro must be a valid spec that still diverges when
+	// replayed through -spec.
+	blob, err := os.ReadFile(reproPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var spec verify.Spec
+	if err := json.Unmarshal(blob, &spec); err != nil {
+		t.Fatalf("repro file is not a valid spec: %v", err)
+	}
+	if spec.InjectBias == 0 {
+		t.Fatal("repro spec lost the injected bias — replay would be clean")
+	}
+	out.Reset()
+	errb.Reset()
+	code = run([]string{"-spec", reproPath, "-no-minimize"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("replayed repro did not diverge: exit %d\n%s", code, out.String())
+	}
+}

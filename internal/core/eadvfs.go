@@ -42,11 +42,6 @@ type Plan struct {
 	S2 float64
 }
 
-// timeEps is the tolerance for comparing computed start times with the
-// current instant (see sched.timeEps — duplicated to keep the packages
-// decoupled; the value is far below any meaningful simulation timescale).
-const timeEps = 1e-9
-
 // ComputePlan evaluates eqs. (5)–(9) for a job with the given remaining
 // work (at f_max) and absolute deadline, using the energy available.
 // The paper states them in terms of the release instant a_m; evaluating at
@@ -77,9 +72,11 @@ func ComputePlan(p *cpu.Processor, available, now, deadline, remaining float64) 
 // SufficientEnergy reports the paper's s1 = s2 test (§4.3 step 4a): both
 // start times collapse to the evaluation instant, meaning the system can
 // run flat-out from now to the deadline without exhausting the available
-// energy — so no slow-down is warranted.
+// energy — so no slow-down is warranted. The boundary tolerance is the
+// shared sched.TimeEps, so every policy in the repository ties exactly the
+// same way.
 func (pl Plan) SufficientEnergy(now float64) bool {
-	return pl.S1 <= now+timeEps && pl.S2 <= now+timeEps
+	return sched.Reached(now, pl.S1) && sched.Reached(now, pl.S2)
 }
 
 // EADVFS is the paper's algorithm as a scheduling policy (Figure 4).
@@ -166,14 +163,14 @@ func (p *EADVFS) Decide(ctx *sched.Context) sched.Decision {
 			s2 = locked
 		}
 	}
-	if ctx.Now >= s2-timeEps {
+	if sched.Reached(ctx.Now, s2) {
 		// Figure 4 line 10: past s2 the job must run at full speed so it
 		// does not steal time from future tasks (§4.3).
 		ctx.AuditJob(p.Name(), j, plan.Available, plan.S1, s2,
 			ctx.CPU.MaxLevel(), math.Inf(1), obs.ReasonFullSpeedEnergyPoor)
 		return sched.Run(j, ctx.CPU.MaxLevel(), math.Inf(1))
 	}
-	if ctx.Now < plan.S1-timeEps {
+	if !sched.Reached(ctx.Now, plan.S1) {
 		// Energy-infeasible to start yet even at the slow level: idle and
 		// recharge until s1 (re-evaluated on every event in between).
 		ctx.AuditJob(p.Name(), j, plan.Available, plan.S1, s2,

@@ -4,6 +4,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -46,8 +47,11 @@ func ReadTraceCSV(r io.Reader, name, column string) (*Trace, error) {
 		if err != nil {
 			return nil, fmt.Errorf("energy: line %d: %w", line, err)
 		}
-		if v < 0 {
-			return nil, fmt.Errorf("energy: line %d: negative power %v", line, v)
+		// ParseFloat accepts "NaN" and "Inf" spellings; both (and negatives)
+		// violate the Source contract, and must surface as parse errors here
+		// rather than as a NewTrace panic below.
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("energy: line %d: invalid power %v", line, v)
 		}
 		samples = append(samples, v)
 	}

@@ -24,6 +24,27 @@ func (w *Welford) Add(x float64) {
 	w.m2 += d * (x - w.mean)
 }
 
+// Merge folds another accumulator into w as if every observation behind o
+// had been Added to w (Chan et al.'s parallel combination). Merging an
+// empty accumulator is a no-op; merging into an empty one copies. The
+// result is order-independent in the usual parallel-reduction sense but,
+// like Add, not bit-identical to any particular Add order.
+func (w *Welford) Merge(o Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = o
+		return
+	}
+	nw, no := float64(w.n), float64(o.n)
+	n := nw + no
+	d := o.mean - w.mean
+	w.mean += d * no / n
+	w.m2 += o.m2 + d*d*nw*no/n
+	w.n += o.n
+}
+
 // N returns the number of observations.
 func (w *Welford) N() int { return w.n }
 

@@ -1,0 +1,84 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+// TestWelfordMerge covers every structural branch of the parallel
+// combination: empty+empty, empty+many, many+empty, single+many, and the
+// general case checked against a single sequential accumulator over the
+// concatenated observations.
+func TestWelfordMerge(t *testing.T) {
+	t.Run("empty+empty", func(t *testing.T) {
+		var a, b Welford
+		a.Merge(b)
+		if a.N() != 0 || a.Mean() != 0 || a.Variance() != 0 {
+			t.Fatalf("merging two empty accumulators must stay empty: %+v", a)
+		}
+	})
+	t.Run("empty+many", func(t *testing.T) {
+		var a, b Welford
+		for _, x := range []float64{1, 2, 3, 4} {
+			b.Add(x)
+		}
+		a.Merge(b)
+		if a.N() != 4 || a.Mean() != b.Mean() || a.Variance() != b.Variance() {
+			t.Fatalf("merge into empty must copy: %+v vs %+v", a, b)
+		}
+	})
+	t.Run("many+empty", func(t *testing.T) {
+		var a, b Welford
+		for _, x := range []float64{5, 7} {
+			a.Add(x)
+		}
+		before := a
+		a.Merge(b)
+		if a != before {
+			t.Fatalf("merging an empty accumulator must be a no-op: %+v vs %+v", a, before)
+		}
+	})
+	t.Run("single+many", func(t *testing.T) {
+		var single, many, seq Welford
+		single.Add(10)
+		for _, x := range []float64{1, 2, 3, 4, 5} {
+			many.Add(x)
+			seq.Add(x)
+		}
+		seq.Add(10)
+		single.Merge(many)
+		if single.N() != 6 {
+			t.Fatalf("n = %d, want 6", single.N())
+		}
+		if math.Abs(single.Mean()-seq.Mean()) > 1e-12 {
+			t.Fatalf("mean %v != sequential %v", single.Mean(), seq.Mean())
+		}
+		if math.Abs(single.Variance()-seq.Variance()) > 1e-12 {
+			t.Fatalf("variance %v != sequential %v", single.Variance(), seq.Variance())
+		}
+	})
+	t.Run("general split equals sequential", func(t *testing.T) {
+		xs := []float64{0.5, -3, 2.25, 100, 1e-9, 42, 42, 7.5, -0.125, 9}
+		for split := 0; split <= len(xs); split++ {
+			var left, right, seq Welford
+			for i, x := range xs {
+				if i < split {
+					left.Add(x)
+				} else {
+					right.Add(x)
+				}
+				seq.Add(x)
+			}
+			left.Merge(right)
+			if left.N() != seq.N() {
+				t.Fatalf("split %d: n %d != %d", split, left.N(), seq.N())
+			}
+			if math.Abs(left.Mean()-seq.Mean()) > 1e-9 {
+				t.Fatalf("split %d: mean %v != %v", split, left.Mean(), seq.Mean())
+			}
+			if math.Abs(left.Variance()-seq.Variance()) > 1e-9 {
+				t.Fatalf("split %d: variance %v != %v", split, left.Variance(), seq.Variance())
+			}
+		}
+	})
+}

@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestCheckJSONLInterleavedFaultInvariantStream validates a stream that
+// interleaves fault activations and invariant violations with ordinary
+// engine events and decision audits — the shape a faulty run under
+// CheckInvariants actually produces, which none of the single-kind tests
+// exercise. Every line must validate, in order, and the count must match.
+func TestCheckJSONLInterleavedFaultInvariantStream(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewJSONLWriter(&buf)
+
+	w.OnEvent(Event{Time: 0, Kind: KindArrival, TaskID: 0, Seq: 0})
+	w.OnDecision(DecisionRecord{
+		Time: 0, Policy: "ea-dvfs", TaskID: 0, Seq: 0,
+		Deadline: 10, Slack: 10, Stored: 5, Available: 5,
+		S1: 0, S2: 0, Level: 4, Speed: 1, Until: 10,
+		Reason: ReasonFullSpeedEnergyRich,
+	})
+	w.OnEvent(Event{Time: 0, Kind: KindFault, TaskID: -1, Seq: -1, Level: 2, Detail: "dvfs-clamp"})
+	w.OnEvent(Event{Time: 0.5, Kind: KindDispatch, TaskID: 0, Seq: 0, Level: 2})
+	w.OnEvent(Event{Time: 1, Kind: KindInvariant, TaskID: -1, Seq: -1, Detail: "store level -1e-9 below zero"})
+	w.OnEvent(Event{Time: 1, Kind: KindFault, TaskID: 0, Seq: 0, Level: 0, Detail: "overrun x1.3"})
+	w.OnEvent(Event{Time: 2, Kind: KindSegment, TaskID: 0, Seq: 0, Level: 2, Start: 0.5, Mode: "run"})
+	w.OnEvent(Event{Time: 2, Kind: KindInvariant, TaskID: -1, Seq: -1, Detail: "conservation drift 2e-7"})
+	w.OnEvent(Event{Time: 2, Kind: KindStall, TaskID: 0, Seq: 0})
+	w.OnEvent(Event{Time: 10, Kind: KindMiss, TaskID: 0, Seq: 0})
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	const wantLines = 10
+	n, err := CheckJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("interleaved stream rejected: %v", err)
+	}
+	if n != wantLines {
+		t.Fatalf("validated %d lines, want %d", n, wantLines)
+	}
+
+	// Corrupting just the invariant line must fail the stream at exactly
+	// that line, proving the checker walks the interleaving rather than
+	// stopping at the first decision.
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	lines[4] = strings.Replace(lines[4], `"invariant"`, `"not-a-kind"`, 1)
+	corrupted := strings.Join(lines, "\n") + "\n"
+	n, err = CheckJSONL(strings.NewReader(corrupted))
+	if err == nil {
+		t.Fatal("corrupted invariant line passed validation")
+	}
+	if n != 4 {
+		t.Fatalf("checker validated %d lines before the corruption at line 5", n)
+	}
+	if !strings.Contains(err.Error(), "line 5") {
+		t.Fatalf("error does not point at line 5: %v", err)
+	}
+}

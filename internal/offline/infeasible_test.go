@@ -1,0 +1,144 @@
+package offline
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/eadvfs/eadvfs/internal/cpu"
+)
+
+// TestSolveInfeasibleTable pins every failure path of Solve — and the
+// feasible boundary cases right next to them — in one table. Each entry
+// states which error text (if any) the caller may rely on; these strings
+// are load-bearing for CLI users, so changing them should fail here.
+func TestSolveInfeasibleTable(t *testing.T) {
+	two := cpu.TwoSpeed(4) // speeds {0.5, 1}, powers {0.5·4^(1/3)... }: only the speeds matter below
+	cases := []struct {
+		name    string
+		proc    *cpu.Processor
+		spec    FrameSpec
+		wantErr string // "" means the plan must succeed
+	}{
+		{
+			name: "time infeasible: work exceeds frame at f_max",
+			proc: two,
+			spec: FrameSpec{
+				Frame: 10, WCETs: []float64{6, 5},
+				RechargePower: 100, InitialEnergy: 100, Capacity: math.Inf(1),
+			},
+			wantErr: "cannot fit a frame",
+		},
+		{
+			name: "time feasible exactly at the boundary: work == frame at f_max",
+			proc: two,
+			spec: FrameSpec{
+				Frame: 10, WCETs: []float64{6, 4},
+				RechargePower: 100, InitialEnergy: 100, Capacity: math.Inf(1),
+			},
+		},
+		{
+			name: "energy infeasible: battery runs dry mid-frame",
+			proc: two,
+			spec: FrameSpec{
+				Frame: 10, WCETs: []float64{9},
+				RechargePower: 0, InitialEnergy: 0.01, Capacity: math.Inf(1),
+			},
+			wantErr: "no energy-feasible plan",
+		},
+		{
+			name: "energy infeasible: zero recharge and zero stored",
+			proc: cpu.XScale(),
+			spec: FrameSpec{
+				Frame: 100, WCETs: []float64{1},
+				RechargePower: 0, InitialEnergy: 0, Capacity: 10,
+			},
+			wantErr: "no energy-feasible plan",
+		},
+		{
+			name: "energy feasible on stored charge alone",
+			proc: two,
+			spec: FrameSpec{
+				Frame: 10, WCETs: []float64{2},
+				RechargePower: 0, InitialEnergy: 50, Capacity: 50,
+			},
+		},
+		{
+			name: "validation: empty task set",
+			proc: two,
+			spec: FrameSpec{
+				Frame: 10, RechargePower: 1, InitialEnergy: 1, Capacity: 10,
+			},
+			wantErr: "no tasks",
+		},
+		{
+			name: "validation: non-positive frame",
+			proc: two,
+			spec: FrameSpec{
+				Frame: 0, WCETs: []float64{1},
+				RechargePower: 1, InitialEnergy: 1, Capacity: 10,
+			},
+			wantErr: "invalid frame",
+		},
+		{
+			name: "validation: negative recharge power",
+			proc: two,
+			spec: FrameSpec{
+				Frame: 10, WCETs: []float64{1},
+				RechargePower: -1, InitialEnergy: 1, Capacity: 10,
+			},
+			wantErr: "invalid recharge power",
+		},
+		{
+			name: "validation: capacity below initial charge",
+			proc: two,
+			spec: FrameSpec{
+				Frame: 10, WCETs: []float64{1},
+				RechargePower: 1, InitialEnergy: 20, Capacity: 10,
+			},
+			wantErr: "capacity",
+		},
+		{
+			name: "validation: zero wcet",
+			proc: two,
+			spec: FrameSpec{
+				Frame: 10, WCETs: []float64{1, 0},
+				RechargePower: 1, InitialEnergy: 1, Capacity: 10,
+			},
+			wantErr: "invalid wcet",
+		},
+		{
+			name: "nil processor",
+			spec: FrameSpec{
+				Frame: 10, WCETs: []float64{1},
+				RechargePower: 1, InitialEnergy: 1, Capacity: 10,
+			},
+			wantErr: "nil processor",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			plan, err := Solve(tc.proc, tc.spec)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("want feasible plan, got error: %v", err)
+				}
+				// A returned plan must actually fit the frame and leave a
+				// non-negative battery — the two things Solve promises.
+				if plan.BusyTime() > tc.spec.Frame+1e-9 {
+					t.Fatalf("plan busy time %v exceeds frame %v", plan.BusyTime(), tc.spec.Frame)
+				}
+				if plan.EndEnergy < -1e-9 {
+					t.Fatalf("plan ends with negative energy %v", plan.EndEnergy)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("want error containing %q, got plan %+v", tc.wantErr, plan)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not contain %q", err, tc.wantErr)
+			}
+		})
+	}
+}

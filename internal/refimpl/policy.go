@@ -1,0 +1,183 @@
+package refimpl
+
+import (
+	"math"
+
+	"github.com/eadvfs/eadvfs/internal/obs"
+	"github.com/eadvfs/eadvfs/internal/sched"
+)
+
+// The reference policies below are transcribed line by line from the
+// paper's pseudocode and equations, computing everything inline at every
+// call: no shared ComputePlan helper, no reused plan struct. They report
+// the same Name() as their optimized counterparts (internal/core,
+// internal/sched) because the policy name is part of the Result and the
+// decision audits the differential harness compares bit for bit.
+//
+// The only shared pieces are deliberate: the obs audit-record builder
+// (sched.Context.AuditJob — record construction, not scheduling logic),
+// the job's s2-lock slot (task.Job — the paper's "remember the original
+// s2" state must live somewhere per job), and the shared boundary
+// tolerance sched.TimeEps, which both sides must tie with identically for
+// bit-equality to be achievable at all.
+
+// EDF is the reference energy-oblivious baseline: earliest-deadline job,
+// full speed, whenever any job is ready.
+type EDF struct{}
+
+// Name implements sched.Policy.
+func (EDF) Name() string { return "edf" }
+
+// Decide implements sched.Policy.
+func (EDF) Decide(ctx *sched.Context) sched.Decision {
+	j := ctx.Queue.Peek()
+	if j == nil {
+		return sched.Idle(math.Inf(1))
+	}
+	return sched.Run(j, ctx.CPU.MaxLevel(), math.Inf(1))
+}
+
+// availableEnergy is the paper's EA = EC(now) + ÊS(now, deadline) (eq. 4),
+// written out literally: clamp the window start, ask the predictor,
+// add the stored energy.
+func availableEnergy(ctx *sched.Context, deadline float64) float64 {
+	until := deadline
+	if until < ctx.Now {
+		until = ctx.Now
+	}
+	return ctx.Stored + ctx.Predictor.PredictEnergy(ctx.Now, until)
+}
+
+// LSA is the reference lazy scheduling algorithm: full power only, start
+// the earliest-deadline task at s2 = max(now, D − EA/Pmax).
+type LSA struct{}
+
+// Name implements sched.Policy.
+func (LSA) Name() string { return "lsa" }
+
+// Decide implements sched.Policy.
+func (LSA) Decide(ctx *sched.Context) sched.Decision {
+	j := ctx.Queue.Peek()
+	if j == nil {
+		ctx.AuditJob("lsa", nil, 0, 0, 0, -1, math.Inf(1), obs.ReasonIdleNoJob)
+		return sched.Idle(math.Inf(1))
+	}
+	available := availableEnergy(ctx, j.Abs)
+	srMax := available / ctx.CPU.MaxPower()
+	s2 := math.Max(ctx.Now, j.Abs-srMax)
+	if !sched.Reached(ctx.Now, s2) {
+		ctx.AuditJob("lsa", j, available, s2, s2, -1, s2, obs.ReasonIdleRecharge)
+		return sched.Idle(s2)
+	}
+	if ctx.Auditing() {
+		reason := obs.ReasonFullSpeedEnergyPoor
+		if srMax >= j.Abs-ctx.Now-sched.TimeEps {
+			reason = obs.ReasonFullSpeedEnergyRich
+		}
+		ctx.AuditJob("lsa", j, available, s2, s2, ctx.CPU.MaxLevel(), math.Inf(1), reason)
+	}
+	return sched.Run(j, ctx.CPU.MaxLevel(), math.Inf(1))
+}
+
+// EADVFS is the reference transcription of the paper's Figure 4. Dynamic
+// recomputes s2 at every decision (the ablation variant); the default
+// locks s2 on first stretch, like the optimized internal/core policy.
+type EADVFS struct {
+	Dynamic bool
+}
+
+// NewEADVFS returns the reference EA-DVFS policy (locked s2).
+func NewEADVFS() *EADVFS { return &EADVFS{} }
+
+// NewDynamicEADVFS returns the reference stateless-recompute variant.
+func NewDynamicEADVFS() *EADVFS { return &EADVFS{Dynamic: true} }
+
+// Name implements sched.Policy.
+func (p *EADVFS) Name() string {
+	if p.Dynamic {
+		return "ea-dvfs-dynamic"
+	}
+	return "ea-dvfs"
+}
+
+// Decide implements sched.Policy — Figure 4, straight off the page.
+func (p *EADVFS) Decide(ctx *sched.Context) sched.Decision {
+	// line 3: pick the earliest-deadline ready job.
+	j := ctx.Queue.Peek()
+	if j == nil {
+		ctx.AuditJob(p.Name(), nil, 0, 0, 0, -1, math.Inf(1), obs.ReasonIdleNoJob)
+		return sched.Idle(math.Inf(1))
+	}
+
+	// eq. 4: EA = EC(now) + ÊS(now, d).
+	available := availableEnergy(ctx, j.Abs)
+	if available < 0 {
+		available = 0
+	}
+
+	// ineq. 6: the lowest operating point n with w/S_n <= d − now,
+	// scanned from the slowest point up.
+	window := j.Abs - ctx.Now
+	work := j.Remaining()
+	level, feasible := ctx.CPU.MaxLevel(), false
+	switch {
+	case work == 0:
+		level, feasible = 0, true
+	case window <= 0:
+		// nothing: even f_max cannot help
+	default:
+		for n := 0; n < ctx.CPU.Levels(); n++ {
+			if work/ctx.CPU.Speed(n) <= window {
+				level, feasible = n, true
+				break
+			}
+		}
+	}
+
+	srN := available / ctx.CPU.Power(level) // eq. 5
+	srMax := available / ctx.CPU.MaxPower() // eq. 9
+	s1 := math.Max(ctx.Now, j.Abs-srN)      // eq. 7
+	s2 := math.Max(ctx.Now, j.Abs-srMax)    // eq. 8
+
+	if !feasible {
+		ctx.AuditJob(p.Name(), j, available, s1, s2,
+			ctx.CPU.MaxLevel(), math.Inf(1), obs.ReasonFullSpeedInfeasible)
+		return sched.Run(j, ctx.CPU.MaxLevel(), math.Inf(1))
+	}
+	if sched.Reached(ctx.Now, s1) && sched.Reached(ctx.Now, s2) {
+		// Figure 4 line 5: s1 = s2 = now — sufficient energy, maximum
+		// frequency; a pending lock is obsolete.
+		j.ClearS2Lock()
+		ctx.AuditJob(p.Name(), j, available, s1, s2,
+			ctx.CPU.MaxLevel(), math.Inf(1), obs.ReasonFullSpeedEnergyRich)
+		return sched.Run(j, ctx.CPU.MaxLevel(), math.Inf(1))
+	}
+
+	s2eff := s2
+	if !p.Dynamic {
+		if locked, ok := j.S2Lock(); ok {
+			s2eff = locked
+		}
+	}
+	if sched.Reached(ctx.Now, s2eff) {
+		// Figure 4 line 10: past s2 the job runs at full speed.
+		ctx.AuditJob(p.Name(), j, available, s1, s2eff,
+			ctx.CPU.MaxLevel(), math.Inf(1), obs.ReasonFullSpeedEnergyPoor)
+		return sched.Run(j, ctx.CPU.MaxLevel(), math.Inf(1))
+	}
+	if !sched.Reached(ctx.Now, s1) {
+		ctx.AuditJob(p.Name(), j, available, s1, s2eff,
+			-1, s1, obs.ReasonIdleRecharge)
+		return sched.Idle(s1)
+	}
+	// Figure 4 line 8: stretched execution at the minimum feasible
+	// frequency on [s1, s2); lock s2 on first stretch.
+	if !p.Dynamic {
+		if _, ok := j.S2Lock(); !ok {
+			j.LockS2(s2eff)
+		}
+	}
+	ctx.AuditJob(p.Name(), j, available, s1, s2eff,
+		level, s2eff, obs.ReasonStretchSlackRich)
+	return sched.Run(j, level, s2eff)
+}

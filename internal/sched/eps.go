@@ -1,0 +1,23 @@
+package sched
+
+// TimeEps is the single shared tolerance for comparing scheduling instants
+// (the s1/s2 start times of eqs. 7–8 against the current time). An instant
+// within TimeEps of a computed start time counts as having reached it,
+// preventing zero-length re-decision loops at event boundaries. The value
+// is far below any meaningful simulation timescale (periods are 10–100
+// units), so the tolerance never changes which operating point a job runs
+// at except exactly on a boundary.
+//
+// Every float comparison of a "have we reached instant t yet" kind — in
+// this package, in internal/core's EA-DVFS and in the reference
+// implementations under internal/refimpl — must go through Reached so the
+// tie-breaking rule stays identical everywhere; the differential harness
+// (internal/verify) asserts bit-identical decisions between the optimized
+// and reference policies, which only holds if they share one epsilon.
+const TimeEps = 1e-9
+
+// Reached reports whether the current instant now has reached the computed
+// start time t, up to TimeEps: now >= t-TimeEps. Equivalently t <= now+TimeEps,
+// the form the paper's s1 = s2 "sufficient energy" test (§4.3 step 4a) is
+// usually written in.
+func Reached(now, t float64) bool { return now >= t-TimeEps }

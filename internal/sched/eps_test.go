@@ -1,0 +1,105 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"github.com/eadvfs/eadvfs/internal/cpu"
+	"github.com/eadvfs/eadvfs/internal/energy"
+	"github.com/eadvfs/eadvfs/internal/task"
+)
+
+// TestReachedBoundary pins the shared epsilon's tie-breaking exactly at
+// the boundary. Every policy in the repository (and the reference
+// implementations in internal/refimpl) routes "have we reached instant t"
+// through Reached, so this behavior is part of the differential
+// bit-identity contract — do not loosen it without updating DESIGN.md §11.
+func TestReachedBoundary(t *testing.T) {
+	const tt = 10.0
+	cases := []struct {
+		name string
+		now  float64
+		want bool
+	}{
+		{"exactly at t", tt, true},
+		{"after t", tt + 1, true},
+		{"exactly TimeEps early", tt - TimeEps, true},
+		{"just inside the tolerance", tt - TimeEps/2, true},
+		{"beyond the tolerance", tt - 2*TimeEps, false},
+		{"well before", tt - 1, false},
+	}
+	for _, tc := range cases {
+		if got := Reached(tc.now, tt); got != tc.want {
+			t.Errorf("%s: Reached(%.17g, %g) = %v, want %v", tc.name, tc.now, tt, got, tc.want)
+		}
+	}
+	// Degenerate instants must not panic and must order sensibly.
+	if !Reached(math.Inf(1), 5) {
+		t.Error("+Inf has reached every finite instant")
+	}
+	if Reached(5, math.Inf(1)) {
+		t.Error("no finite instant reaches +Inf")
+	}
+}
+
+// TestMinLevelForExactBoundary pins level selection when the stretched
+// execution time lands exactly on the window: work/S_n == window must pick
+// level n (ineq. 6 is non-strict), and one ULP more work must escalate to
+// the next level. TwoSpeed's 0.5/1.0 speeds make the arithmetic exact in
+// binary, so this is a true boundary, not a near-boundary.
+func TestMinLevelForExactBoundary(t *testing.T) {
+	proc := cpu.TwoSpeed(4) // speeds {0.5, 1.0}
+	level, ok := proc.MinLevelFor(4, 8)
+	if !ok || level != 0 {
+		t.Fatalf("work 4 in window 8 at speed 0.5 is exactly feasible: got level %d ok %v", level, ok)
+	}
+	// One ULP more work and the slow level no longer fits.
+	over := math.Nextafter(4, 5)
+	level, ok = proc.MinLevelFor(over, 8)
+	if !ok || level != 1 {
+		t.Fatalf("work 4+ulp must escalate to level 1: got level %d ok %v", level, ok)
+	}
+	// Exactly at the full-speed bound the set is still feasible...
+	level, ok = proc.MinLevelFor(8, 8)
+	if !ok || level != 1 {
+		t.Fatalf("work 8 in window 8 at speed 1.0: got level %d ok %v", level, ok)
+	}
+	// ...and one ULP beyond it is not.
+	if _, ok := proc.MinLevelFor(math.Nextafter(8, 9), 8); ok {
+		t.Fatal("work 8+ulp in window 8 must be infeasible")
+	}
+}
+
+// TestLSAStartBoundary pins the LSA start decision exactly at s2: with a
+// zero predictor, stored energy E gives s2 = D − E/Pmax. At s2 == now and
+// within TimeEps past it the job must start at full speed; beyond the
+// tolerance the processor must idle until s2.
+func TestLSAStartBoundary(t *testing.T) {
+	proc := cpu.TwoSpeed(4) // MaxPower 4
+	mk := func(stored float64) *Context {
+		q := task.NewReadyQueue()
+		q.Push(task.NewJob(0, 0, 0, 10, 2)) // Abs = 10
+		return &Context{
+			Now: 5, Queue: q, Stored: stored, Capacity: 100,
+			CPU: proc, Predictor: energy.Zero{},
+		}
+	}
+	pol := LSA{}
+
+	// stored = 20 → srMax = 5 → s2 = 10 − 5 = 5 = now: start.
+	if d := pol.Decide(mk(20)); d.Job == nil || d.Level != proc.MaxLevel() {
+		t.Fatalf("exactly at s2 LSA must start at full speed, got %+v", d)
+	}
+	// s2 = now + TimeEps/2: inside the tolerance, still starts.
+	if d := pol.Decide(mk(4 * (5 - TimeEps/2))); d.Job == nil {
+		t.Fatalf("within TimeEps of s2 LSA must start, got idle until %v", d.Until)
+	}
+	// s2 = now + 4·TimeEps: beyond the tolerance, idles until s2.
+	d := pol.Decide(mk(4 * (5 - 4*TimeEps)))
+	if d.Job != nil {
+		t.Fatalf("before s2 LSA must idle, got run at level %d", d.Level)
+	}
+	if math.Abs(d.Until-(5+4*TimeEps)) > TimeEps {
+		t.Fatalf("idle must end at s2 ≈ %v, got %v", 5+4*TimeEps, d.Until)
+	}
+}

@@ -27,7 +27,7 @@ import (
 // EA-DVFS s2 lock) lives on the Job itself.
 type Context struct {
 	Now       float64
-	Queue     *task.ReadyQueue
+	Queue     ReadyView
 	Stored    float64 // EC(now)
 	Capacity  float64 // C, possibly +Inf
 	CPU       *cpu.Processor
@@ -37,6 +37,18 @@ type Context struct {
 	// (internal/obs). Policies emit through Audit, which nil-checks, so
 	// the disabled path stays allocation-free.
 	Probe obs.Probe
+}
+
+// ReadyView is the read-only view of the EDF-ordered ready queue a policy
+// decides over. The optimized engine passes *task.ReadyQueue (a heap); the
+// differential reference engine (internal/refimpl) substitutes a
+// linear-scan list. Policies only ever inspect the head — mutating the
+// queue is the engine's job.
+type ReadyView interface {
+	// Peek returns the earliest-deadline ready job, or nil when none.
+	Peek() *task.Job
+	// Len returns the number of ready jobs.
+	Len() int
 }
 
 // Audit sends a decision-audit record to the attached probe, if any.
@@ -119,11 +131,6 @@ type Policy interface {
 	Decide(ctx *Context) Decision
 }
 
-// timeEps breaks s1/s2 boundary ties: an instant within timeEps of a
-// computed start time counts as having reached it, preventing zero-length
-// re-decision loops at event boundaries.
-const timeEps = 1e-9
-
 // EDF is the energy-oblivious baseline: run the earliest-deadline ready
 // job flat-out whenever one exists. With infinite storage EA-DVFS reduces
 // to exactly this policy (§4.3), which the integration tests assert.
@@ -167,7 +174,7 @@ func (LSA) Decide(ctx *Context) Decision {
 	srMax := available / ctx.CPU.MaxPower()
 	s2 := math.Max(ctx.Now, j.Abs-srMax)
 
-	if ctx.Now < s2-timeEps {
+	if !Reached(ctx.Now, s2) {
 		ctx.AuditJob("lsa", j, available, s2, s2, -1, s2, obs.ReasonIdleRecharge)
 		return Idle(s2)
 	}
@@ -177,7 +184,7 @@ func (LSA) Decide(ctx *Context) Decision {
 		// affordable, the s2 = now degenerate case) versus the lazy
 		// start at a genuine s2.
 		reason := obs.ReasonFullSpeedEnergyPoor
-		if srMax >= j.Abs-ctx.Now-timeEps {
+		if srMax >= j.Abs-ctx.Now-TimeEps {
 			reason = obs.ReasonFullSpeedEnergyRich
 		}
 		ctx.AuditJob("lsa", j, available, s2, s2, ctx.CPU.MaxLevel(), math.Inf(1), reason)
@@ -243,7 +250,7 @@ func (GreedyStretch) Decide(ctx *Context) Decision {
 	available := ctx.AvailableEnergy(j.Abs)
 	srN := available / ctx.CPU.Power(level)
 	s1 := math.Max(ctx.Now, j.Abs-srN)
-	if ctx.Now < s1-timeEps {
+	if !Reached(ctx.Now, s1) {
 		return Idle(s1)
 	}
 	return Run(j, level, math.Inf(1))

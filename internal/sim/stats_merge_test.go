@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"github.com/eadvfs/eadvfs/internal/task"
+)
+
+// buildStats runs a taskTable through the given response times for task 0
+// and returns its table row, exactly as the engine would produce it.
+func buildStats(t *testing.T, resps []float64, missed int) *TaskStats {
+	t.Helper()
+	tt := newTaskTable()
+	seq := 0
+	for _, r := range resps {
+		j := task.NewJob(0, seq, 0, 1000, 1)
+		seq++
+		tt.released(j)
+		tt.finished(j, r) // arrival 0 → response == completion time
+	}
+	for i := 0; i < missed; i++ {
+		j := task.NewJob(0, seq, 0, 1000, 1)
+		seq++
+		tt.released(j)
+		tt.missed(j)
+	}
+	rows := tt.table()
+	if len(rows) != 1 {
+		t.Fatalf("expected one row, got %d", len(rows))
+	}
+	return rows[0]
+}
+
+// TestTaskStatsMerge covers the merge paths of the per-task aggregator:
+// empty+empty, single+many, and the general check that merging two runs
+// equals one run over the concatenated completions.
+func TestTaskStatsMerge(t *testing.T) {
+	t.Run("empty+empty", func(t *testing.T) {
+		// A task that never released anything has no table row; its stats
+		// are the zero value.
+		a := &TaskStats{TaskID: 0}
+		b := &TaskStats{TaskID: 0}
+		a.Merge(b)
+		if a.Released != 0 || a.Finished != 0 || a.Missed != 0 {
+			t.Fatalf("merged empties must stay empty: %+v", a)
+		}
+		if a.ResponseMean != 0 || a.ResponseMax != 0 {
+			t.Fatalf("empty merge produced response stats: %+v", a)
+		}
+	})
+	t.Run("single+many", func(t *testing.T) {
+		single := buildStats(t, []float64{9}, 0)
+		many := buildStats(t, []float64{1, 2, 3, 4}, 2)
+		single.Merge(many)
+		if single.Released != 7 || single.Finished != 5 || single.Missed != 2 {
+			t.Fatalf("counters wrong after merge: %+v", single)
+		}
+		want := buildStats(t, []float64{1, 2, 3, 4, 9}, 2)
+		if math.Abs(single.ResponseMean-want.ResponseMean) > 1e-12 {
+			t.Fatalf("merged mean %v != combined %v", single.ResponseMean, want.ResponseMean)
+		}
+		if single.ResponseMax != 9 {
+			t.Fatalf("merged max %v != 9", single.ResponseMax)
+		}
+	})
+	t.Run("max comes from either side", func(t *testing.T) {
+		a := buildStats(t, []float64{3, 8}, 0)
+		b := buildStats(t, []float64{2}, 0)
+		a.Merge(b)
+		if a.ResponseMax != 8 {
+			t.Fatalf("max must survive a merge with smaller responses: %v", a.ResponseMax)
+		}
+		if mr := a.MissRate(); mr != 0 {
+			t.Fatalf("no misses → rate 0, got %v", mr)
+		}
+	})
+}

@@ -1,0 +1,140 @@
+package verify
+
+import (
+	"math"
+
+	"github.com/eadvfs/eadvfs/internal/rng"
+	"github.com/eadvfs/eadvfs/internal/task"
+)
+
+// RandomSpec draws one differential test case from a seed. The same seed
+// always yields the same spec (the generator is a pure function of the
+// deterministic internal/rng stream), so a failing seed printed by the
+// differential test is a complete reproduction recipe.
+//
+// The distribution is deliberately adversarial rather than realistic:
+// zero-capacity stores, empty task windows, fault injection, execution
+// jitter and deadline-drop policy all appear with material probability,
+// because divergence bugs live at boundaries, not in the comfortable
+// interior.
+func RandomSpec(seed uint64) *Spec {
+	r := rng.New(seed)
+	s := &Spec{Seed: seed}
+
+	s.Policy = pick(r, "ea-dvfs", "ea-dvfs-dynamic", "lsa", "edf")
+	s.Predictor = pick(r, "oracle", "ewma", "last-value", "zero")
+	if s.Predictor == "ewma" {
+		s.Alpha = r.Uniform(0.05, 0.9)
+	}
+
+	s.Horizon = float64(40 + r.Intn(200))
+	if r.Intn(10) < 3 {
+		s.Horizon += r.Float64() // fractional horizons exercise final partial units
+	}
+
+	s.Source = randomSource(r)
+	meanPower := sourceMean(s.Source)
+
+	s.CPU = pick(r, "xscale", "xscale", "two-speed", "pxa270", "sensor-mcu")
+	s.Tasks = randomTasks(r, meanPower, cpuFor(s).MaxPower())
+
+	switch r.Intn(5) {
+	case 0:
+		s.Capacity = 0 // hand-to-mouth: every decision is energy-critical
+	case 1:
+		s.Capacity = r.Uniform(1, 10)
+	case 2:
+		s.Capacity = r.Uniform(10, 100)
+	default:
+		s.Capacity = r.Uniform(100, 1000)
+	}
+	s.InitialFrac = r.Float64()
+
+	if r.Intn(10) < 3 {
+		s.BCWCRatio = r.Uniform(0.2, 0.9)
+		s.ExecSeed = r.Uint64()
+	}
+	if r.Intn(4) == 0 {
+		s.FaultIntensity = r.Uniform(0.05, 0.6)
+		s.FaultSeed = r.Uint64()
+	}
+	s.ContinueAfterDeadline = r.Intn(5) == 0
+
+	// Watchdog: a differential pair that loops forever should fail with a
+	// matching pair of EventBudgetErrors, not hang CI.
+	s.MaxEvents = 2_000_000
+	return s
+}
+
+func pick(r *rng.RNG, choices ...string) string {
+	return choices[r.Intn(len(choices))]
+}
+
+func randomSource(r *rng.RNG) SourceSpec {
+	switch r.Intn(4) {
+	case 0:
+		return SourceSpec{Kind: "constant", Power: r.Uniform(0.5, 6)}
+	case 1:
+		period := float64(10 + r.Intn(40))
+		return SourceSpec{
+			Kind:   "two-mode",
+			Day:    r.Uniform(2, 8),
+			Night:  r.Uniform(0, 1),
+			Period: period,
+			DayLen: period * r.Uniform(0.2, 0.8),
+		}
+	case 2:
+		return SourceSpec{Kind: "solar", Seed: r.Uint64(), Amplitude: r.Uniform(4, 12)}
+	default:
+		n := 5 + r.Intn(20)
+		samples := make([]float64, n)
+		for i := range samples {
+			samples[i] = r.Uniform(0, 8)
+		}
+		return SourceSpec{Kind: "trace", Samples: samples}
+	}
+}
+
+// sourceMean estimates the spec's mean power for sizing the task set —
+// precision is irrelevant, it only biases utilization toward schedulable.
+func sourceMean(s SourceSpec) float64 {
+	switch s.Kind {
+	case "constant":
+		return s.Power
+	case "two-mode":
+		frac := s.DayLen / s.Period
+		return s.Day*frac + s.Night*(1-frac)
+	case "solar":
+		return s.Amplitude / math.Pi // half-sine day, dark night
+	case "trace":
+		sum := 0.0
+		for _, v := range s.Samples {
+			sum += v
+		}
+		return sum / float64(len(s.Samples))
+	default:
+		return 1
+	}
+}
+
+func randomTasks(r *rng.RNG, meanPower, pmax float64) []task.Task {
+	cfg := task.GeneratorConfig{
+		NumTasks:         1 + r.Intn(6),
+		Periods:          task.PaperPeriods(),
+		MeanHarvestPower: math.Max(meanPower, 0.1),
+		PMax:             pmax,
+		TargetU:          r.Uniform(0.1, 0.9),
+	}
+	tasks, err := task.Generate(cfg, r.Child(0x7a5c))
+	if err == nil && len(tasks) > 0 {
+		// Shake some offsets loose so not every first job arrives at 0.
+		for i := range tasks {
+			if r.Intn(3) == 0 {
+				tasks[i].Offset = float64(r.Intn(int(tasks[i].Period)))
+			}
+		}
+		return tasks
+	}
+	// Fallback: one hand-built task, always valid.
+	return []task.Task{{ID: 0, Period: 20, Deadline: 20, WCET: 4}}
+}

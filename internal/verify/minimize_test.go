@@ -1,0 +1,66 @@
+package verify
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestMinimizeInjectedDivergence injects an artificial divergence (a
+// biased optimized-side predictor) into a deliberately bloated spec and
+// checks that Minimize shrinks it while keeping the divergence alive —
+// the workflow cmd/eaverify automates.
+func TestMinimizeInjectedDivergence(t *testing.T) {
+	spec := RandomSpec(42)
+	spec.Policy = "ea-dvfs" // a policy that audits Available
+	spec.InjectBias = 1e-6
+	spec.InjectAfter = 0
+
+	min, d, err := Minimize(spec)
+	if err != nil {
+		t.Fatalf("Minimize: %v", err)
+	}
+	if !d.Diverged() {
+		t.Fatal("minimized spec no longer diverges")
+	}
+	if len(min.Tasks) > len(spec.Tasks) || min.Horizon > spec.Horizon {
+		t.Fatalf("minimize grew the spec: %d tasks horizon %v -> %d tasks horizon %v",
+			len(spec.Tasks), spec.Horizon, len(min.Tasks), min.Horizon)
+	}
+	// The passes must have found at least one simplification: the bias
+	// fires on the very first prediction, so a single task over a short
+	// horizon keeps diverging.
+	if len(min.Tasks) == len(spec.Tasks) && min.Horizon == spec.Horizon &&
+		min.Source.Kind == spec.Source.Kind && min.Predictor == spec.Predictor {
+		t.Fatalf("minimize made no progress on a trivially shrinkable divergence: %+v", min)
+	}
+	if min.InjectBias != spec.InjectBias {
+		t.Fatal("minimize must not touch the injected fault itself")
+	}
+
+	var buf bytes.Buffer
+	SideBySide(&buf, d)
+	dump := buf.String()
+	if !strings.Contains(dump, ">>>") {
+		t.Fatalf("side-by-side dump does not mark the first divergence:\n%s", dump)
+	}
+	if !strings.Contains(dump, "opt:") || !strings.Contains(dump, "ref:") {
+		t.Fatalf("side-by-side dump missing one side:\n%s", dump)
+	}
+}
+
+// TestMinimizeCleanSpec: a non-diverging spec comes back unchanged with a
+// nil divergence.
+func TestMinimizeCleanSpec(t *testing.T) {
+	spec := RandomSpec(7)
+	min, d, err := Minimize(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != nil {
+		t.Fatalf("clean spec reported divergent: %v", d.Diffs)
+	}
+	if min != spec {
+		t.Fatal("clean spec should be returned unchanged")
+	}
+}

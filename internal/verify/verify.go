@@ -1,0 +1,429 @@
+// Package verify is the differential-verification harness: it runs the
+// optimized engine (internal/sim with the pooled kernel, prefix-sum
+// energy caches and reused contexts) and the deliberately naive reference
+// engine (internal/refimpl) on identical inputs and demands bit-identical
+// outputs — decision audits, engine event streams, and every exported
+// Result metric.
+//
+// The comparison is exact (math.Float64bits, not a tolerance) because the
+// optimized layers were written as accumulation-order-preserving rewrites
+// of the naive formulations; DESIGN.md §11 states that contract and its
+// boundary. A divergence therefore always means a real bug in one of the
+// engines, never float reassociation noise — which is what makes the
+// harness usable as a CI gate (`go test ./internal/verify -quick`) and as
+// the backing store of cmd/eaverify's minimizing reproducer.
+package verify
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+
+	"github.com/eadvfs/eadvfs/internal/core"
+	"github.com/eadvfs/eadvfs/internal/cpu"
+	"github.com/eadvfs/eadvfs/internal/energy"
+	"github.com/eadvfs/eadvfs/internal/fault"
+	"github.com/eadvfs/eadvfs/internal/obs"
+	"github.com/eadvfs/eadvfs/internal/refimpl"
+	"github.com/eadvfs/eadvfs/internal/sched"
+	"github.com/eadvfs/eadvfs/internal/sim"
+	"github.com/eadvfs/eadvfs/internal/storage"
+	"github.com/eadvfs/eadvfs/internal/task"
+)
+
+// SourceSpec describes an energy source in plain JSON-serializable data,
+// so a diverging configuration can be written to disk and replayed by
+// cmd/eaverify. Build constructs a fresh source instance per call: the
+// optimized and reference engines each get their own (memoizing sources
+// such as SolarModel are deterministic in their seed, so two instances
+// built from the same spec produce bit-identical traces).
+type SourceSpec struct {
+	Kind string `json:"kind"` // "constant", "two-mode", "solar", "trace"
+
+	// Constant.
+	Power float64 `json:"power,omitempty"`
+
+	// TwoMode.
+	Day    float64 `json:"day,omitempty"`
+	Night  float64 `json:"night,omitempty"`
+	Period float64 `json:"period,omitempty"`
+	DayLen float64 `json:"day_len,omitempty"`
+
+	// Solar.
+	Seed      uint64  `json:"seed,omitempty"`
+	Amplitude float64 `json:"amplitude,omitempty"`
+
+	// Trace.
+	Samples []float64 `json:"samples,omitempty"`
+}
+
+// Build constructs a fresh source from the spec.
+func (s SourceSpec) Build() (energy.Source, error) {
+	switch s.Kind {
+	case "constant":
+		return energy.NewConstantChecked(s.Power)
+	case "two-mode":
+		return energy.NewTwoModeChecked(s.Day, s.Night, s.Period, s.DayLen)
+	case "solar":
+		return energy.NewSolarModelAmpChecked(s.Seed, s.Amplitude)
+	case "trace":
+		return energy.NewTraceChecked("verify-trace", s.Samples)
+	default:
+		return nil, fmt.Errorf("verify: unknown source kind %q", s.Kind)
+	}
+}
+
+// Spec is one differential test case: everything both engines need to run,
+// as plain serializable data. RandomSpec draws these from a seed;
+// cmd/eaverify reads and writes them as JSON.
+type Spec struct {
+	// Seed is the generator seed this spec was drawn from (bookkeeping
+	// only — the spec is self-contained).
+	Seed uint64 `json:"seed"`
+
+	Policy    string  `json:"policy"`    // "ea-dvfs", "ea-dvfs-dynamic", "lsa", "edf"
+	Predictor string  `json:"predictor"` // "oracle", "ewma", "last-value", "zero"
+	Alpha     float64 `json:"alpha,omitempty"`
+
+	Horizon float64     `json:"horizon"`
+	Tasks   []task.Task `json:"tasks"`
+	Source  SourceSpec  `json:"source"`
+
+	// Capacity is the storage capacity (finite; 0 is legal and means the
+	// system lives hand-to-mouth on harvest). InitialFrac·Capacity is the
+	// initial charge.
+	Capacity    float64 `json:"capacity"`
+	InitialFrac float64 `json:"initial_frac"`
+
+	BCWCRatio float64 `json:"bcwc_ratio,omitempty"`
+	ExecSeed  uint64  `json:"exec_seed,omitempty"`
+
+	FaultIntensity float64 `json:"fault_intensity,omitempty"`
+	FaultSeed      uint64  `json:"fault_seed,omitempty"`
+
+	ContinueAfterDeadline bool `json:"continue_after_deadline,omitempty"`
+
+	// CPU selects the processor preset; empty means "xscale".
+	CPU string `json:"cpu,omitempty"` // "xscale", "two-speed", "pxa270", "sensor-mcu"
+
+	// MaxEvents is the runaway-watchdog budget applied to both engines
+	// (0 = unlimited).
+	MaxEvents uint64 `json:"max_events,omitempty"`
+
+	// InjectBias, when non-zero, adds a constant bias to every energy
+	// prediction the *optimized* side makes for query windows starting at
+	// or after InjectAfter. It exists to fault-inject an artificial
+	// divergence so the harness and minimizer can be tested end to end —
+	// a spec with a bias is divergent by construction.
+	InjectBias  float64 `json:"inject_bias,omitempty"`
+	InjectAfter float64 `json:"inject_after,omitempty"`
+}
+
+// biasPredictor perturbs an inner predictor — the divergence fault
+// injection behind Spec.InjectBias.
+type biasPredictor struct {
+	inner energy.Predictor
+	bias  float64
+	after float64
+}
+
+func (b *biasPredictor) Observe(t, p float64) { b.inner.Observe(t, p) }
+
+func (b *biasPredictor) PredictEnergy(t1, t2 float64) float64 {
+	e := b.inner.PredictEnergy(t1, t2)
+	if t1 >= b.after {
+		e += b.bias
+	}
+	return e
+}
+
+func (b *biasPredictor) Name() string { return b.inner.Name() }
+
+func (s *Spec) optPolicy() (sched.Policy, error) {
+	switch s.Policy {
+	case "ea-dvfs":
+		return core.NewEADVFS(), nil
+	case "ea-dvfs-dynamic":
+		return core.NewDynamicEADVFS(), nil
+	case "lsa":
+		return sched.LSA{}, nil
+	case "edf":
+		return sched.EDF{}, nil
+	default:
+		return nil, fmt.Errorf("verify: unknown policy %q", s.Policy)
+	}
+}
+
+func (s *Spec) refPolicy() (sched.Policy, error) {
+	switch s.Policy {
+	case "ea-dvfs":
+		return refimpl.NewEADVFS(), nil
+	case "ea-dvfs-dynamic":
+		return refimpl.NewDynamicEADVFS(), nil
+	case "lsa":
+		return refimpl.LSA{}, nil
+	case "edf":
+		return refimpl.EDF{}, nil
+	default:
+		return nil, fmt.Errorf("verify: unknown policy %q", s.Policy)
+	}
+}
+
+func (s *Spec) optPredictor(src energy.Source) (energy.Predictor, error) {
+	switch s.Predictor {
+	case "oracle":
+		return energy.NewOracle(src), nil
+	case "ewma":
+		return energy.NewEWMA(s.Alpha), nil
+	case "last-value":
+		return energy.NewLastValue(), nil
+	case "zero":
+		return energy.Zero{}, nil
+	default:
+		return nil, fmt.Errorf("verify: unknown predictor %q", s.Predictor)
+	}
+}
+
+func (s *Spec) refPredictor(src energy.Source) (energy.Predictor, error) {
+	switch s.Predictor {
+	case "oracle":
+		return refimpl.NewOracle(src), nil
+	case "ewma":
+		return refimpl.NewEWMA(s.Alpha), nil
+	case "last-value":
+		return refimpl.NewLastValue(), nil
+	case "zero":
+		return refimpl.Zero{}, nil
+	default:
+		return nil, fmt.Errorf("verify: unknown predictor %q", s.Predictor)
+	}
+}
+
+// cpuFor resolves the spec's processor preset. The processor is immutable
+// after construction, so — unlike sources and predictors — one instance
+// could be shared; fresh instances per side keep the isolation rule simple.
+func cpuFor(s *Spec) *cpu.Processor {
+	switch s.CPU {
+	case "", "xscale":
+		return cpu.XScale()
+	case "two-speed":
+		return cpu.TwoSpeed(4)
+	case "pxa270":
+		return cpu.PXA270()
+	case "sensor-mcu":
+		return cpu.SensorNodeMCU()
+	default:
+		panic(fmt.Sprintf("verify: unknown cpu preset %q", s.CPU))
+	}
+}
+
+func (s *Spec) faults() *fault.Spec {
+	if s.FaultIntensity <= 0 {
+		return nil
+	}
+	f := fault.AtIntensity(s.FaultSeed, s.FaultIntensity)
+	return &f
+}
+
+// Pair materializes the two configurations — optimized and reference —
+// from the spec. Every stateful component (source, predictor, store,
+// policy) is constructed fresh per side so neither run can contaminate
+// the other; determinism in the spec guarantees the pairs start bit-equal.
+func (s *Spec) Pair() (opt, ref *sim.Config, err error) {
+	if s.InitialFrac < 0 || s.InitialFrac > 1 || math.IsNaN(s.InitialFrac) {
+		return nil, nil, fmt.Errorf("verify: initial_frac %v outside [0,1]", s.InitialFrac)
+	}
+	build := func(isRef bool) (*sim.Config, error) {
+		src, err := s.Source.Build()
+		if err != nil {
+			return nil, err
+		}
+		var pred energy.Predictor
+		if isRef {
+			pred, err = s.refPredictor(src)
+		} else {
+			pred, err = s.optPredictor(src)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if !isRef && s.InjectBias != 0 {
+			pred = &biasPredictor{inner: pred, bias: s.InjectBias, after: s.InjectAfter}
+		}
+		var pol sched.Policy
+		if isRef {
+			pol, err = s.refPolicy()
+		} else {
+			pol, err = s.optPolicy()
+		}
+		if err != nil {
+			return nil, err
+		}
+		tasks := make([]task.Task, len(s.Tasks))
+		copy(tasks, s.Tasks)
+		return &sim.Config{
+			Horizon:               s.Horizon,
+			Tasks:                 tasks,
+			Source:                src,
+			Predictor:             pred,
+			Store:                 storage.New(s.Capacity, s.InitialFrac*s.Capacity),
+			CPU:                   cpuFor(s),
+			Policy:                pol,
+			ContinueAfterDeadline: s.ContinueAfterDeadline,
+			BCWCRatio:             s.BCWCRatio,
+			ExecSeed:              s.ExecSeed,
+			RecordEnergy:          true,
+			Faults:                s.faults(),
+			MaxEvents:             s.MaxEvents,
+		}, nil
+	}
+	if opt, err = build(false); err != nil {
+		return nil, nil, err
+	}
+	if ref, err = build(true); err != nil {
+		return nil, nil, err
+	}
+	return opt, ref, nil
+}
+
+// Divergence describes a differential failure: the first (up to maxDiffs)
+// field paths whose bits differ, plus both sides' full observability
+// records for side-by-side dumping.
+type Divergence struct {
+	Spec  *Spec
+	Diffs []string // "Result.BusyTime: 3.5 != 3.4999999999999996" style
+
+	OptErr, RefErr error
+	Opt, Ref       *sim.Result
+	OptRec, RefRec *obs.Recorder
+}
+
+// Diverged reports whether the pair disagreed anywhere.
+func (d *Divergence) Diverged() bool {
+	return d != nil && len(d.Diffs) > 0
+}
+
+const maxDiffs = 24
+
+// Check runs both engines on the spec and bit-compares everything:
+// run errors (by message), decision audits, engine event streams, and the
+// exported Result fields. It returns nil when the runs are bit-identical,
+// and a populated Divergence otherwise. A setup error (invalid spec)
+// is returned as err.
+func Check(s *Spec) (*Divergence, error) {
+	opt, ref, err := s.Pair()
+	if err != nil {
+		return nil, err
+	}
+	optRec, refRec := obs.NewRecorder(), obs.NewRecorder()
+	opt.Probe, ref.Probe = optRec, refRec
+
+	optRes, optErr := sim.Run(opt)
+	refRes, refErr := refimpl.Run(ref)
+
+	d := &Divergence{
+		Spec:   s,
+		OptErr: optErr, RefErr: refErr,
+		Opt: optRes, Ref: refRes,
+		OptRec: optRec, RefRec: refRec,
+	}
+	if (optErr == nil) != (refErr == nil) {
+		d.Diffs = append(d.Diffs, fmt.Sprintf("error: %v != %v", optErr, refErr))
+		return d, nil
+	}
+	if optErr != nil && optErr.Error() != refErr.Error() {
+		d.Diffs = append(d.Diffs, fmt.Sprintf("error: %q != %q", optErr, refErr))
+		return d, nil
+	}
+	if (optRes == nil) != (refRes == nil) {
+		d.Diffs = append(d.Diffs, fmt.Sprintf("result presence: %v != %v", optRes != nil, refRes != nil))
+		return d, nil
+	}
+	if optRes != nil {
+		bitDiff("Result", reflect.ValueOf(*optRes), reflect.ValueOf(*refRes), &d.Diffs)
+	}
+	bitDiff("Decisions", reflect.ValueOf(optRec.Decisions()), reflect.ValueOf(refRec.Decisions()), &d.Diffs)
+	bitDiff("Events", reflect.ValueOf(optRec.Events()), reflect.ValueOf(refRec.Events()), &d.Diffs)
+	if !d.Diverged() {
+		return nil, nil
+	}
+	return d, nil
+}
+
+// bitDiff walks two values of identical type and records every path where
+// they differ — floats compared by math.Float64bits (so +Inf, -0 and NaN
+// payloads all count), everything else by language equality. Unexported
+// fields are skipped: they are implementation detail the reference engine
+// legitimately does not reproduce (e.g. the Welford accumulator inside
+// sim.TaskStats, whose exported projections ResponseMean/ResponseMax are
+// compared instead).
+func bitDiff(path string, a, b reflect.Value, out *[]string) {
+	if len(*out) >= maxDiffs {
+		return
+	}
+	if a.Type() != b.Type() {
+		*out = append(*out, fmt.Sprintf("%s: type %v != %v", path, a.Type(), b.Type()))
+		return
+	}
+	switch a.Kind() {
+	case reflect.Float64, reflect.Float32:
+		af, bf := a.Float(), b.Float()
+		if math.Float64bits(af) != math.Float64bits(bf) {
+			*out = append(*out, fmt.Sprintf("%s: %v != %v (bits %016x != %016x)",
+				path, af, bf, math.Float64bits(af), math.Float64bits(bf)))
+		}
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		if a.Int() != b.Int() {
+			*out = append(*out, fmt.Sprintf("%s: %d != %d", path, a.Int(), b.Int()))
+		}
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		if a.Uint() != b.Uint() {
+			*out = append(*out, fmt.Sprintf("%s: %d != %d", path, a.Uint(), b.Uint()))
+		}
+	case reflect.Bool:
+		if a.Bool() != b.Bool() {
+			*out = append(*out, fmt.Sprintf("%s: %v != %v", path, a.Bool(), b.Bool()))
+		}
+	case reflect.String:
+		if a.String() != b.String() {
+			*out = append(*out, fmt.Sprintf("%s: %q != %q", path, a.String(), b.String()))
+		}
+	case reflect.Ptr:
+		if a.IsNil() != b.IsNil() {
+			*out = append(*out, fmt.Sprintf("%s: nil-ness %v != %v", path, a.IsNil(), b.IsNil()))
+			return
+		}
+		if !a.IsNil() {
+			bitDiff(path, a.Elem(), b.Elem(), out)
+		}
+	case reflect.Slice:
+		if a.Len() != b.Len() {
+			*out = append(*out, fmt.Sprintf("%s: len %d != %d", path, a.Len(), b.Len()))
+			return
+		}
+		for i := 0; i < a.Len() && len(*out) < maxDiffs; i++ {
+			bitDiff(fmt.Sprintf("%s[%d]", path, i), a.Index(i), b.Index(i), out)
+		}
+	case reflect.Struct:
+		t := a.Type()
+		for i := 0; i < t.NumField() && len(*out) < maxDiffs; i++ {
+			f := t.Field(i)
+			if f.PkgPath != "" { // unexported
+				continue
+			}
+			bitDiff(path+"."+f.Name, a.Field(i), b.Field(i), out)
+		}
+	case reflect.Interface:
+		if a.IsNil() != b.IsNil() {
+			*out = append(*out, fmt.Sprintf("%s: nil-ness %v != %v", path, a.IsNil(), b.IsNil()))
+			return
+		}
+		if !a.IsNil() {
+			bitDiff(path, a.Elem(), b.Elem(), out)
+		}
+	default:
+		// Maps, chans, funcs do not occur in compared types; flag loudly
+		// if a future Result field introduces one.
+		*out = append(*out, fmt.Sprintf("%s: uncomparable kind %v", path, a.Kind()))
+	}
+}
