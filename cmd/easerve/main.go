@@ -1,0 +1,114 @@
+// Command easerve serves simulations over HTTP: the same simulation and
+// sweep specifications the easim/eaexp CLIs consume, posted as JSON and
+// executed on a bounded worker pool with a digest-keyed single-flight
+// result cache (internal/service). Identical requests share one engine
+// run; overload sheds with 429 rather than queuing without bound; SIGTERM
+// drains in-flight work before exiting.
+//
+// Usage:
+//
+//	easerve [-addr :8080] [-workers N] [-queue 64] [-cache 4096]
+//	        [-timeout 120s] [-retry-after 1s] [-drain-timeout 30s]
+//	        [-version]
+//
+// Endpoints:
+//
+//	POST /v1/sim       body = simulation config (easim's); ?events=1
+//	                   streams the JSONL event log instead of the result
+//	POST /v1/sweep     body = {"kind":"missrate"|"remaining",
+//	                   "spec":{...},"policies":[...]}
+//	GET  /metrics      Prometheus text exposition
+//	GET  /healthz      200 ok, 503 while draining
+//	GET  /version      build identity JSON
+//
+// Example:
+//
+//	easerve -addr :8080 &
+//	curl -s -X POST localhost:8080/v1/sim \
+//	     -d '{"Policy":"ea-dvfs","Capacity":300,"Horizon":10000}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/eadvfs/eadvfs/internal/buildinfo"
+	"github.com/eadvfs/eadvfs/internal/service"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		workers      = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		queue        = flag.Int("queue", 64, "requests allowed to wait for a worker before shedding 429")
+		cacheSize    = flag.Int("cache", 4096, "result-cache entries retained (FIFO eviction)")
+		timeout      = flag.Duration("timeout", 120*time.Second, "per-request compute budget")
+		retryAfter   = flag.Duration("retry-after", time.Second, "Retry-After hint on 429/503 responses")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight work on SIGTERM")
+		version      = flag.Bool("version", false, "print build information and exit")
+	)
+	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Line("easerve"))
+		return
+	}
+	if err := run(*addr, *drainTimeout, service.Options{
+		Workers:      *workers,
+		Queue:        *queue,
+		CacheEntries: *cacheSize,
+		Timeout:      *timeout,
+		RetryAfter:   *retryAfter,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "easerve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, drainTimeout time.Duration, opts service.Options) error {
+	svc := service.New(opts)
+	srv := &http.Server{
+		Addr:    addr,
+		Handler: svc.Handler(),
+		// Defend the listener; per-request compute budgets live in the
+		// service's Timeout, which also bounds response write time for
+		// event streams, so no WriteTimeout here.
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "easerve: %s listening on %s\n", buildinfo.Line("easerve"), addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+
+	select {
+	case err := <-errc:
+		return err // listener died before any signal
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "easerve: %s received, draining (grace %s)\n", sig, drainTimeout)
+	}
+
+	// Graceful drain: stop admitting compute work and flip /healthz first,
+	// then let http.Server.Shutdown wait for in-flight requests.
+	svc.BeginDrain()
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("drain incomplete after %s: %w", drainTimeout, err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "easerve: drained, exiting")
+	return nil
+}

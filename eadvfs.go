@@ -18,6 +18,7 @@
 package eadvfs
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -198,6 +199,16 @@ func (c *Config) withDefaults() Config {
 
 // Run executes one simulation.
 func Run(userCfg Config) (*Result, error) {
+	return RunContext(context.Background(), userCfg)
+}
+
+// RunContext executes one simulation under a cancellation context: when
+// ctx is cancelled (or its deadline passes), the engine aborts at its next
+// poll and RunContext returns an error wrapping ctx.Err() with no Result.
+// The simulation service (cmd/easerve) uses this to propagate per-request
+// timeouts and client disconnects into running engines;
+// context.Background() reproduces Run exactly.
+func RunContext(ctx context.Context, userCfg Config) (*Result, error) {
 	cfg := userCfg.withDefaults()
 
 	proc := cpu.XScaleScaled(cfg.PMax)
@@ -257,6 +268,9 @@ func Run(userCfg Config) (*Result, error) {
 		RecordEnergy:    cfg.RecordEnergy,
 		CheckInvariants: cfg.CheckInvariants,
 		Probe:           cfg.Probe,
+	}
+	if ctx != nil && ctx != context.Background() {
+		simCfg.Context = ctx
 	}
 	if cfg.FaultIntensity != 0 {
 		if cfg.FaultIntensity < 0 || cfg.FaultIntensity > 1 {

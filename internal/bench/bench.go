@@ -47,6 +47,8 @@ func Cases() []Case {
 		{Name: "Fig9MissRateHighU", Run: missRate(0.8)},
 		{Name: "Table1MinCapacityRatio", Run: runTable1},
 		{Name: "Engine", Run: runEngine},
+		{Name: "ServiceRequestMiss", Run: runServiceMiss},
+		{Name: "ServiceRequestHit", Run: runServiceHit},
 	}
 }
 

@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+
+	"github.com/eadvfs/eadvfs"
+	"github.com/eadvfs/eadvfs/internal/service"
+)
+
+// serviceConfig is the fixed request the service cases post: a short
+// paper-style run, small enough that the HTTP/cache overhead being
+// measured is not drowned by engine time.
+func serviceConfig() eadvfs.Config {
+	return eadvfs.Config{Horizon: 2000, Policy: "ea-dvfs", Capacity: 300, Seed: 1}
+}
+
+// postSim drives one request through the full handler path (routing,
+// strict decode, digest, cache, admission) without a network socket.
+func postSim(h http.Handler, body []byte) (*httptest.ResponseRecorder, error) {
+	req := httptest.NewRequest(http.MethodPost, "/v1/sim", bytes.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		return nil, fmt.Errorf("bench: service returned %d: %s", rec.Code, rec.Body.Bytes())
+	}
+	return rec, nil
+}
+
+// missRateOf extracts the run's miss rate from a service response — the
+// shape metric: a perf change that moves it broke the request path's
+// correctness, not just its speed.
+func missRateOf(rec *httptest.ResponseRecorder) (float64, error) {
+	var env struct {
+		Result struct {
+			MissRate float64
+		} `json:"result"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil {
+		return 0, fmt.Errorf("bench: service response: %w", err)
+	}
+	return env.Result.MissRate, nil
+}
+
+// runServiceMiss measures the cache-miss request path: every iteration
+// hits a fresh server, so the request decodes, digests, runs the engine
+// and populates the cache.
+func runServiceMiss(n int) (map[string]float64, error) {
+	body, err := json.Marshal(serviceConfig())
+	if err != nil {
+		return nil, err
+	}
+	var rate float64
+	for i := 0; i < n; i++ {
+		h := service.New(service.Options{Workers: 1}).Handler()
+		rec, err := postSim(h, body)
+		if err != nil {
+			return nil, err
+		}
+		if got := rec.Header().Get("X-Cache"); got != "miss" {
+			return nil, fmt.Errorf("bench: fresh server answered X-Cache=%q, want miss", got)
+		}
+		if rate, err = missRateOf(rec); err != nil {
+			return nil, err
+		}
+	}
+	return map[string]float64{"missrate/run": rate}, nil
+}
+
+// runServiceHit measures the cache-hit request path: one server, cache
+// primed once outside the measured loop, every iteration served from the
+// stored bytes.
+func runServiceHit(n int) (map[string]float64, error) {
+	body, err := json.Marshal(serviceConfig())
+	if err != nil {
+		return nil, err
+	}
+	h := service.New(service.Options{Workers: 1}).Handler()
+	if _, err := postSim(h, body); err != nil {
+		return nil, err
+	}
+	var rate float64
+	for i := 0; i < n; i++ {
+		rec, err := postSim(h, body)
+		if err != nil {
+			return nil, err
+		}
+		if got := rec.Header().Get("X-Cache"); got != "hit" {
+			return nil, fmt.Errorf("bench: primed server answered X-Cache=%q, want hit", got)
+		}
+		if rate, err = missRateOf(rec); err != nil {
+			return nil, err
+		}
+	}
+	return map[string]float64{"missrate/run": rate}, nil
+}

@@ -12,6 +12,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync/atomic"
@@ -322,6 +323,14 @@ func Replicate(s Spec, r int) (Replication, error) {
 // capacity under the given policy, with the spec's predictor. The store
 // starts full (§5.1).
 func RunOne(s Spec, rep Replication, capacity float64, pf PolicyFactory, record bool) (*sim.Result, error) {
+	return RunOneCtx(context.Background(), s, rep, capacity, pf, record)
+}
+
+// RunOneCtx is RunOne under a cancellation context: the context is handed
+// to the engine (sim.Config.Context), so an abandoned or timed-out request
+// aborts the run mid-flight instead of finishing a result nobody wants.
+// context.Background() reproduces RunOne exactly.
+func RunOneCtx(ctx context.Context, s Spec, rep Replication, capacity float64, pf PolicyFactory, record bool) (*sim.Result, error) {
 	predF, err := s.PredictorFor(s.Predictor)
 	if err != nil {
 		return nil, err
@@ -338,6 +347,9 @@ func RunOne(s Spec, rep Replication, capacity float64, pf PolicyFactory, record 
 		RecordEnergy: record,
 		MaxEvents:    defaultEventBudget(s.Horizon),
 		Probe:        s.Probe,
+	}
+	if ctx != context.Background() && ctx != nil {
+		cfg.Context = ctx
 	}
 	res, err := sim.Run(cfg)
 	s.recordRun(res)

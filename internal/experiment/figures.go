@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/eadvfs/eadvfs/internal/energy"
@@ -33,6 +34,14 @@ type RemainingEnergyResult struct {
 // Figure 7 (0.8) for the named policies. Simulations run in parallel
 // across Parallelism workers; the result is deterministic.
 func RemainingEnergy(s Spec, policyNames []string) (*RemainingEnergyResult, error) {
+	return RemainingEnergyCtx(context.Background(), s, policyNames)
+}
+
+// RemainingEnergyCtx is RemainingEnergy under a cancellation context:
+// cancellation stops queued replications at pickup, aborts running engines
+// mid-flight, and surfaces as a *CancelledError instead of a partial
+// (and therefore wrong) average.
+func RemainingEnergyCtx(ctx context.Context, s Spec, policyNames []string) (*RemainingEnergyResult, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -55,7 +64,7 @@ func RemainingEnergy(s Spec, policyNames []string) (*RemainingEnergyResult, erro
 				slot := (r*nc+ci)*np + pi
 				r, ci, pi := r, ci, pi
 				jobs = append(jobs, job{slot: slot, run: func() error {
-					res, err := RunOne(s, reps[r], s.Capacities[ci], factories[pi], true)
+					res, err := RunOneCtx(ctx, s, reps[r], s.Capacities[ci], factories[pi], true)
 					if err != nil {
 						return err
 					}
@@ -65,7 +74,7 @@ func RemainingEnergy(s Spec, policyNames []string) (*RemainingEnergyResult, erro
 			}
 		}
 	}
-	if err := runParallel(jobs); err != nil {
+	if err := runParallelCtx(ctx, jobs); err != nil {
 		return nil, err
 	}
 
@@ -120,6 +129,15 @@ func (m *MissRateResult) NormalizedCapacity(i int) float64 {
 // Simulations run in parallel across Parallelism workers; the pooled
 // tallies are merged in deterministic order.
 func MissRateSweep(s Spec, policyNames []string) (*MissRateResult, error) {
+	return MissRateSweepCtx(context.Background(), s, policyNames)
+}
+
+// MissRateSweepCtx is MissRateSweep under a cancellation context: an
+// aborted request (or an expired per-request timeout) stops
+// queued-but-unstarted replications at the pickup path, aborts running
+// engines at their next poll, and returns a *CancelledError — a partial
+// pooled miss rate is statistically meaningless, so none is produced.
+func MissRateSweepCtx(ctx context.Context, s Spec, policyNames []string) (*MissRateResult, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -141,7 +159,7 @@ func MissRateSweep(s Spec, policyNames []string) (*MissRateResult, error) {
 				slot := (r*nc+ci)*np + pi
 				r, ci, pi := r, ci, pi
 				jobs = append(jobs, job{slot: slot, run: func() error {
-					res, err := RunOne(s, reps[r], s.Capacities[ci], factories[pi], false)
+					res, err := RunOneCtx(ctx, s, reps[r], s.Capacities[ci], factories[pi], false)
 					if err != nil {
 						return err
 					}
@@ -151,7 +169,7 @@ func MissRateSweep(s Spec, policyNames []string) (*MissRateResult, error) {
 			}
 		}
 	}
-	if err := runParallel(jobs); err != nil {
+	if err := runParallelCtx(ctx, jobs); err != nil {
 		return nil, err
 	}
 

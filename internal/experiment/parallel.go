@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -60,6 +61,39 @@ func (e *PanicError) Error() string {
 	return fmt.Sprintf("experiment: job %d panicked: %v", e.Slot, e.Value)
 }
 
+// CancelledError reports a batch stopped early by context cancellation: a
+// partial-aggregation error carrying how far the sweep got. Already-running
+// jobs finished (their results are in the caller's slot storage), but
+// Skipped queued jobs were never started, so any aggregate over the batch
+// would silently mix completed and missing slots — callers must treat the
+// sweep as partial. errors.Is(err, context.Canceled) (or DeadlineExceeded)
+// sees through it via Unwrap.
+type CancelledError struct {
+	Done    int   // jobs that ran to completion (or failed) before the stop
+	Skipped int   // queued jobs cancelled at pickup
+	Total   int   // jobs in the batch
+	Err     error // the context's error (Canceled or DeadlineExceeded)
+}
+
+// Error implements error.
+func (e *CancelledError) Error() string {
+	return fmt.Sprintf("experiment: sweep cancelled after %d/%d jobs (%d skipped at pickup): %v",
+		e.Done, e.Total, e.Skipped, e.Err)
+}
+
+// Unwrap exposes the context error to errors.Is/As.
+func (e *CancelledError) Unwrap() error { return e.Err }
+
+// RunHardened executes fn with the parallel runner's robustness wrapper —
+// panic recovery into a *PanicError and bounded retry of TransientError
+// failures — without a batch around it. The simulation service uses it so
+// a single network-submitted run gets the same hardening a sweep
+// replication does: one exploding request surfaces as a diagnosable 5xx,
+// never a dead worker.
+func RunHardened(fn func() error) error {
+	return runJob(job{slot: 0, run: fn})
+}
+
 // runParallel executes jobs across min(Parallelism, len(jobs)) workers and
 // returns the first error (by slot order) if any failed. Each job writes
 // its result into caller-owned, slot-indexed storage, which keeps merging
@@ -71,16 +105,41 @@ func (e *PanicError) Error() string {
 // the remaining queued jobs are cancelled at pickup — already-running jobs
 // finish, and their errors still participate in lowest-slot selection.
 func runParallel(jobs []job) error {
-	errs, _ := runParallelPartial(jobs, false)
+	return runParallelCtx(context.Background(), jobs)
+}
+
+// runParallelCtx is runParallel with cooperative cancellation: when ctx is
+// cancelled, queued jobs are dropped at pickup (already-running jobs
+// finish) and the batch returns a *CancelledError describing the partial
+// aggregation, taking precedence over per-job errors — a cancelled sweep's
+// job errors are usually just the engine reporting the same cancellation.
+func runParallelCtx(ctx context.Context, jobs []job) error {
+	errs, skipped := runParallelPartialCtx(ctx, jobs, false)
+	if err := ctx.Err(); err != nil && skipped > 0 {
+		return &CancelledError{
+			Done:    len(jobs) - skipped,
+			Skipped: skipped,
+			Total:   len(jobs),
+			Err:     err,
+		}
+	}
 	return lowestSlotError(errs)
 }
 
-// runParallelPartial is the engine behind runParallel. With keepGoing set,
-// a failing job does not cancel the rest: every job runs, the per-slot
-// errors are returned, and the caller aggregates the surviving slots —
-// one bad replication no longer discards a whole sweep. It returns the
-// recorded errors by slot and the number of jobs skipped by cancellation.
+// runParallelPartial is runParallelPartialCtx without a cancellation
+// context (robustness sweeps want every slot attempted regardless).
 func runParallelPartial(jobs []job, keepGoing bool) (map[int]error, int) {
+	return runParallelPartialCtx(context.Background(), jobs, keepGoing)
+}
+
+// runParallelPartialCtx is the engine behind the batch runners. With
+// keepGoing set, a failing job does not cancel the rest: every job runs,
+// the per-slot errors are returned, and the caller aggregates the
+// surviving slots — one bad replication no longer discards a whole sweep.
+// A cancelled ctx stops the batch at job pickup either way (keepGoing
+// tolerates job failures, not an abandoned request). It returns the
+// recorded errors by slot and the number of jobs skipped by cancellation.
+func runParallelPartialCtx(ctx context.Context, jobs []job, keepGoing bool) (map[int]error, int) {
 	workers := Parallelism
 	if workers < 1 {
 		workers = 1
@@ -118,7 +177,7 @@ func runParallelPartial(jobs []job, keepGoing bool) (map[int]error, int) {
 	if workers <= 1 {
 		// Serial path: same pickup-time cancellation semantics.
 		for _, j := range jobs {
-			if cancelled.Load() {
+			if cancelled.Load() || ctx.Err() != nil {
 				skipped++
 				continue
 			}
@@ -144,7 +203,7 @@ func runParallelPartial(jobs []job, keepGoing bool) (map[int]error, int) {
 					mu.Unlock()
 					return
 				}
-				if cancelled.Load() {
+				if cancelled.Load() || ctx.Err() != nil {
 					skipped += len(jobs) - next
 					next = len(jobs)
 					mu.Unlock()

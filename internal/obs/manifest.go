@@ -1,14 +1,12 @@
 package obs
 
 import (
-	"bytes"
-	"crypto/sha256"
-	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"os"
 
 	"github.com/eadvfs/eadvfs/internal/buildinfo"
+	"github.com/eadvfs/eadvfs/internal/digest"
 )
 
 // ManifestSchemaVersion is the run-manifest schema version.
@@ -61,20 +59,8 @@ func NewManifest(tool, policy string, seeds map[string]uint64, config any) (*Man
 		Policy:      policy,
 		Seeds:       seeds,
 		Config:      raw,
-		Digest:      digest(raw),
+		Digest:      digest.Compact(raw),
 	}, nil
-}
-
-// digest hashes the compact form of raw: MarshalIndent on the enclosing
-// manifest re-indents the embedded RawMessage, so hashing the bytes
-// verbatim would break write→read round trips.
-func digest(raw []byte) string {
-	var buf bytes.Buffer
-	if err := json.Compact(&buf, raw); err == nil {
-		raw = buf.Bytes()
-	}
-	sum := sha256.Sum256(raw)
-	return hex.EncodeToString(sum[:])
 }
 
 // Validate checks the manifest's schema version and that the digest
@@ -86,7 +72,7 @@ func (m *Manifest) Validate() error {
 	if len(m.Config) == 0 {
 		return fmt.Errorf("obs: manifest without config")
 	}
-	if got := digest(m.Config); got != m.Digest {
+	if got := digest.Compact(m.Config); got != m.Digest {
 		return fmt.Errorf("obs: manifest digest mismatch: config hashes to %s, manifest says %s", got, m.Digest)
 	}
 	return nil

@@ -4,6 +4,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"github.com/eadvfs/eadvfs/internal/digest"
 )
 
 type testConfig struct {
@@ -88,8 +90,8 @@ func TestDecodeConfigRejectsUnknownFields(t *testing.T) {
 }
 
 func TestDigestIsIndentationInvariant(t *testing.T) {
-	compact := digest([]byte(`{"a":1,"b":[1,2]}`))
-	indented := digest([]byte("{\n  \"a\": 1,\n  \"b\": [\n    1,\n    2\n  ]\n}"))
+	compact := digest.Compact([]byte(`{"a":1,"b":[1,2]}`))
+	indented := digest.Compact([]byte("{\n  \"a\": 1,\n  \"b\": [\n    1,\n    2\n  ]\n}"))
 	if compact != indented {
 		t.Fatalf("digest must be whitespace-invariant: %s vs %s", compact, indented)
 	}

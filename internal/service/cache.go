@@ -1,0 +1,88 @@
+package service
+
+import "sync"
+
+// entry is one cache slot: a result being computed or already computed.
+// ready is closed exactly once, when the leader finishes; result and err
+// are immutable afterwards. Waiters select on ready against their own
+// request context, so an abandoned client never blocks on someone else's
+// computation.
+type entry struct {
+	ready  chan struct{}
+	result []byte // compact JSON payload; nil when err != nil
+	err    error
+}
+
+// done reports whether the entry has been completed.
+func (e *entry) done() bool {
+	select {
+	case <-e.ready:
+		return true
+	default:
+		return false
+	}
+}
+
+// cache is the digest-keyed single-flight result cache. The first request
+// for a key becomes the leader and computes; concurrent requests for the
+// same key wait on the leader's entry instead of enqueueing duplicate
+// work, so N identical requests cost one engine run. Completed successful
+// entries are retained up to max and evicted FIFO; failed computations are
+// never cached (the next request retries). In-flight entries are exempt
+// from eviction — evicting one would break the single-flight guarantee.
+type cache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]*entry
+	order   []string // completed entries in completion order, oldest first
+}
+
+func newCache(max int) *cache {
+	if max < 1 {
+		max = 1
+	}
+	return &cache{max: max, entries: make(map[string]*entry)}
+}
+
+// begin returns the entry for key and whether the caller is its leader.
+// A leader MUST eventually call complete with the same key and entry,
+// whatever happens — a leaked in-flight entry would wedge every future
+// request for the key.
+func (c *cache) begin(key string) (*entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok {
+		return e, false
+	}
+	e := &entry{ready: make(chan struct{})}
+	c.entries[key] = e
+	return e, true
+}
+
+// complete finishes a leader's computation. Successful results stay cached
+// (evicting the oldest completed entry beyond the bound); failures are
+// removed so a later request can retry — but current waiters observe the
+// error, not a silent retry.
+func (c *cache) complete(key string, e *entry, result []byte, err error) {
+	c.mu.Lock()
+	e.result, e.err = result, err
+	if err != nil {
+		delete(c.entries, key)
+	} else {
+		c.order = append(c.order, key)
+		for len(c.order) > c.max {
+			evict := c.order[0]
+			c.order = c.order[1:]
+			delete(c.entries, evict)
+		}
+	}
+	c.mu.Unlock()
+	close(e.ready)
+}
+
+// len reports the number of live entries (completed + in-flight).
+func (c *cache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

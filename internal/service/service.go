@@ -1,0 +1,606 @@
+// Package service turns the simulator into a shared network service:
+// an HTTP/JSON API that accepts the same simulation and sweep
+// configurations the easim/eaexp CLIs consume, runs them on a bounded
+// worker pool hardened by internal/experiment's parallel runner, and
+// caches results under the SHA-256 compact-form config digest that run
+// manifests (internal/obs) already record. The paper's evaluation runs
+// thousands of simulations per data point (§5); a shared service
+// deduplicates and amortizes them across clients.
+//
+// Contracts (DESIGN.md §12):
+//
+//   - Cache-key contract: the key of a request is
+//     digest.Compact(json.Marshal(config)) — exactly the config_digest an
+//     easim run manifest records for the same configuration. A cached
+//     response is byte-identical to the first response for the digest, and
+//     its result payload is byte-identical to json.Marshal of the result
+//     of running the spec directly with the library (which is what easim
+//     does), because it IS that: computed once, stored verbatim.
+//   - Single flight: concurrent identical requests share one engine run.
+//     The first requester leads; the rest wait on its entry. Failed
+//     computations are not cached.
+//   - Backpressure: at most Workers simulations execute concurrently and
+//     at most Queue requests wait for a worker. Beyond that the server
+//     sheds load with 429 and a Retry-After hint — it never queues
+//     unboundedly and never deadlocks.
+//   - Cancellation: the request context (client disconnect) and the
+//     per-request Timeout propagate into the engine (sim.Config.Context)
+//     and the sweep runners' pickup paths, so abandoned work stops
+//     promptly.
+//   - Draining: after BeginDrain, /healthz reports 503 (load balancers
+//     stop routing) and new compute requests are refused with 503, while
+//     in-flight requests run to completion — the graceful half of a
+//     SIGTERM shutdown (cmd/easerve owns the other half).
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"github.com/eadvfs/eadvfs"
+	"github.com/eadvfs/eadvfs/internal/buildinfo"
+	"github.com/eadvfs/eadvfs/internal/digest"
+	"github.com/eadvfs/eadvfs/internal/experiment"
+	"github.com/eadvfs/eadvfs/internal/obs"
+)
+
+// maxBodyBytes bounds a request body; a simulation spec is a few hundred
+// bytes, so 1 MiB leaves room for large explicit task sets while keeping
+// a hostile client from ballooning memory.
+const maxBodyBytes = 1 << 20
+
+// Options configures a Server. Zero values take the documented defaults.
+type Options struct {
+	// Workers bounds concurrently executing jobs (default GOMAXPROCS).
+	// A sweep counts as one job here and fans out internally across
+	// experiment.Parallelism.
+	Workers int
+	// Queue bounds requests waiting for a worker (default 64). Admission
+	// beyond Workers+Queue is refused with 429.
+	Queue int
+	// CacheEntries bounds retained results, evicted FIFO (default 4096).
+	CacheEntries int
+	// Timeout is the per-request compute budget (default 120s). An
+	// expired budget aborts the engine mid-run and returns 504.
+	Timeout time.Duration
+	// RetryAfter is the hint sent with 429/503 responses (default 1s).
+	RetryAfter time.Duration
+	// Registry receives the service's metrics (and per-run eadvfs_run_*
+	// aggregates). One is created when nil; either way /metrics serves it.
+	Registry *obs.Registry
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Queue <= 0 {
+		o.Queue = 64
+	}
+	if o.CacheEntries <= 0 {
+		o.CacheEntries = 4096
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 120 * time.Second
+	}
+	if o.RetryAfter <= 0 {
+		o.RetryAfter = time.Second
+	}
+	if o.Registry == nil {
+		o.Registry = obs.NewRegistry()
+	}
+	return o
+}
+
+// Sentinel errors of the admission path.
+var (
+	errOverload = errors.New("service: worker pool and queue are full")
+	errDraining = errors.New("service: server is draining")
+)
+
+// SweepRequest is the body of POST /v1/sweep: which experiment to run,
+// its spec, and the policies to compare.
+type SweepRequest struct {
+	// Kind selects the sweep: "missrate" (Figures 8–9 pooled deadline
+	// miss rates) or "remaining" (Figures 6–7 remaining-energy curves).
+	Kind string `json:"kind"`
+	// Spec carries the §5.1 simulation parameters (experiment.Spec).
+	Spec experiment.Spec `json:"spec"`
+	// Policies names the policies to compare under identical conditions.
+	Policies []string `json:"policies"`
+}
+
+// response is the JSON envelope of a computed or cached result. The
+// envelope is cached verbatim alongside the payload, so a cache hit is
+// byte-identical to the first response for the digest (cache state is
+// reported in the X-Cache header, not the body, precisely to keep it so).
+type response struct {
+	Digest string          `json:"config_digest"`
+	Result json.RawMessage `json:"result"`
+}
+
+// errorBody is the JSON envelope of a failed request.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// Server is the simulation service. Create with New; serve via Handler.
+type Server struct {
+	opts  Options
+	reg   *obs.Registry
+	cache *cache
+	mux   *http.ServeMux
+
+	slots    chan struct{} // executing jobs; cap = Workers
+	queued   chan struct{} // jobs waiting for a slot; cap = Queue
+	draining atomic.Bool
+
+	// runSim is the engine entry point; a test seam (defaults to
+	// eadvfs.RunContext).
+	runSim func(ctx context.Context, cfg eadvfs.Config) (*eadvfs.Result, error)
+
+	// Metrics.
+	cacheHit   *obs.Counter // completed entry served
+	cacheJoin  *obs.Counter // waited on an in-flight identical request
+	cacheMiss  *obs.Counter // led a new computation
+	engineRuns *obs.Counter
+	rejected   map[string]*obs.Counter
+	queueDepth *obs.Gauge
+	inFlight   *obs.Gauge
+	cacheSize  *obs.Gauge
+	latency    map[string]*obs.Summary
+}
+
+// New builds a Server.
+func New(opts Options) *Server {
+	o := opts.withDefaults()
+	s := &Server{
+		opts:   o,
+		reg:    o.Registry,
+		cache:  newCache(o.CacheEntries),
+		slots:  make(chan struct{}, o.Workers),
+		queued: make(chan struct{}, o.Queue),
+		runSim: eadvfs.RunContext,
+	}
+	const cacheHelp = "result cache lookups by outcome"
+	s.cacheHit = s.reg.Counter(obs.Labeled("easerve_cache_requests_total", "outcome", "hit"), cacheHelp)
+	s.cacheJoin = s.reg.Counter(obs.Labeled("easerve_cache_requests_total", "outcome", "join"), cacheHelp)
+	s.cacheMiss = s.reg.Counter(obs.Labeled("easerve_cache_requests_total", "outcome", "miss"), cacheHelp)
+	s.engineRuns = s.reg.Counter("easerve_engine_runs_total", "simulation/sweep executions (cache misses that ran)")
+	const rejHelp = "requests shed by reason"
+	s.rejected = map[string]*obs.Counter{
+		"overload": s.reg.Counter(obs.Labeled("easerve_rejected_total", "reason", "overload"), rejHelp),
+		"draining": s.reg.Counter(obs.Labeled("easerve_rejected_total", "reason", "draining"), rejHelp),
+	}
+	s.queueDepth = s.reg.Gauge("easerve_queue_depth", "requests waiting for a worker slot")
+	s.inFlight = s.reg.Gauge("easerve_inflight", "requests executing on a worker slot")
+	s.cacheSize = s.reg.Gauge("easerve_cache_entries", "live result-cache entries (completed + in-flight)")
+	const latHelp = "request service time in seconds"
+	s.latency = map[string]*obs.Summary{
+		"sim":   s.reg.Summary(obs.Labeled("easerve_request_seconds", "endpoint", "sim"), latHelp),
+		"sweep": s.reg.Summary(obs.Labeled("easerve_request_seconds", "endpoint", "sweep"), latHelp),
+	}
+
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/sim", s.handleSim)
+	s.mux.HandleFunc("/v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/version", s.handleVersion)
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry returns the server's metrics registry (the one /metrics serves).
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// BeginDrain switches the server into draining mode: /healthz turns 503
+// and new compute requests are refused, while in-flight work completes.
+// cmd/easerve calls it on SIGTERM before http.Server.Shutdown.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain was called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// acquire admits a request to the worker pool: immediately when a slot is
+// free, through the bounded wait queue when all workers are busy, and with
+// errOverload when the queue is full too — the server sheds load rather
+// than queue without bound. The returned release MUST be called when the
+// job finishes.
+func (s *Server) acquire(ctx context.Context) (release func(), err error) {
+	release = func() {
+		<-s.slots
+		s.inFlight.Set(float64(len(s.slots)))
+	}
+	// Fast path: an idle worker.
+	select {
+	case s.slots <- struct{}{}:
+		s.inFlight.Set(float64(len(s.slots)))
+		return release, nil
+	default:
+	}
+	// Workers busy: join the bounded queue or shed.
+	select {
+	case s.queued <- struct{}{}:
+	default:
+		return nil, errOverload
+	}
+	s.queueDepth.Set(float64(len(s.queued)))
+	defer func() {
+		<-s.queued
+		s.queueDepth.Set(float64(len(s.queued)))
+	}()
+	select {
+	case s.slots <- struct{}{}:
+		s.inFlight.Set(float64(len(s.slots)))
+		return release, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// decodeStrict unmarshals a request body into dst, rejecting unknown
+// fields (a typoed or future-schema field fails loudly, mirroring
+// obs.Manifest.DecodeConfig) and trailing garbage.
+func decodeStrict(r io.Reader, dst any) error {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return err
+	}
+	if dec.More() {
+		return errors.New("trailing data after JSON document")
+	}
+	return nil
+}
+
+// statusOf maps a compute error to an HTTP status.
+func statusOf(err error) int {
+	var pe *experiment.PanicError
+	var te *experiment.TransientError
+	switch {
+	case errors.Is(err, errOverload):
+		return http.StatusTooManyRequests
+	case errors.Is(err, errDraining):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		// The leading request was abandoned; waiters should simply retry.
+		return http.StatusServiceUnavailable
+	case errors.As(err, &pe):
+		return http.StatusInternalServerError
+	case errors.As(err, &te):
+		return http.StatusServiceUnavailable
+	default:
+		// The engine is deterministic: everything else is a property of
+		// the submitted configuration.
+		return http.StatusBadRequest
+	}
+}
+
+// writeError emits the JSON error envelope, attaching Retry-After to the
+// shed-load statuses so well-behaved clients back off.
+func (s *Server) writeError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	switch code {
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		w.Header().Set("Retry-After", strconv.Itoa(int((s.opts.RetryAfter + time.Second - 1) / time.Second)))
+	}
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(errorBody{Error: err.Error()})
+}
+
+// serveCached runs the single-flight protocol for key around compute and
+// writes the (computed or cached) response. compute returns the result
+// payload bytes; its output is stored verbatim, which is what makes a
+// cache hit byte-identical to the first response.
+func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string, compute func(ctx context.Context) ([]byte, error)) {
+	e, leader := s.cache.begin(key)
+	switch {
+	case leader:
+		s.cacheMiss.Inc()
+	case e.done():
+		s.cacheHit.Inc()
+	default:
+		s.cacheJoin.Inc()
+	}
+
+	if leader {
+		var payload []byte
+		err := func() error {
+			release, err := s.acquire(r.Context())
+			if err != nil {
+				return err
+			}
+			defer release()
+			ctx, cancel := context.WithTimeout(r.Context(), s.opts.Timeout)
+			defer cancel()
+			payload, err = compute(ctx)
+			return err
+		}()
+		envelope, merr := json.Marshal(response{Digest: key, Result: payload})
+		if err == nil {
+			err = merr
+		}
+		// The trailing newline is part of the stored bytes: e.result is
+		// shared read-only by every waiter, so it must never be appended to
+		// at write time.
+		s.cache.complete(key, e, append(envelope, '\n'), err)
+		s.cacheSize.Set(float64(s.cache.len()))
+	} else {
+		select {
+		case <-e.ready:
+		case <-r.Context().Done():
+			s.writeError(w, http.StatusServiceUnavailable, r.Context().Err())
+			return
+		}
+	}
+
+	if e.err != nil {
+		code := statusOf(e.err)
+		if code == http.StatusTooManyRequests {
+			s.rejected["overload"].Inc()
+		}
+		s.writeError(w, code, e.err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Config-Digest", key)
+	if leader {
+		w.Header().Set("X-Cache", "miss")
+	} else {
+		w.Header().Set("X-Cache", "hit")
+	}
+	w.Write(e.result)
+}
+
+// handleSim serves POST /v1/sim: body = an eadvfs.Config (the same JSON a
+// run manifest embeds). With ?events=1 the run streams its JSONL
+// schema-v1 event log instead of returning a (cached) result.
+func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer func() { s.latency["sim"].Observe(time.Since(start).Seconds()) }()
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		s.writeError(w, http.StatusMethodNotAllowed, errors.New("POST a simulation config"))
+		return
+	}
+	if s.draining.Load() {
+		s.rejected["draining"].Inc()
+		s.writeError(w, http.StatusServiceUnavailable, errDraining)
+		return
+	}
+	var cfg eadvfs.Config
+	if err := decodeStrict(http.MaxBytesReader(w, r.Body, maxBodyBytes), &cfg); err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("sim config: %w", err))
+		return
+	}
+	canonical, err := json.Marshal(cfg)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if streamRequested(r) {
+		s.streamSimEvents(w, r, cfg)
+		return
+	}
+	key := digest.Compact(canonical)
+	s.serveCached(w, r, key, func(ctx context.Context) ([]byte, error) {
+		var res *eadvfs.Result
+		err := experiment.RunHardened(func() error {
+			var err error
+			res, err = s.runSim(ctx, cfg)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.engineRuns.Inc()
+		recordRunMetrics(s.reg, res)
+		return json.Marshal(res)
+	})
+}
+
+// streamRequested reports whether the client asked for the JSONL event
+// stream instead of the result payload.
+func streamRequested(r *http.Request) bool {
+	switch r.URL.Query().Get("events") {
+	case "1", "true", "yes":
+		return true
+	}
+	return false
+}
+
+// streamSimEvents runs the config with a JSONL probe writing straight to
+// the response: the client watches arrivals, dispatches, decisions and
+// faults as they happen. Event streams identify a client's observation,
+// not a result, so they bypass the cache; they still occupy a worker slot
+// and count against the queue bound. An engine error after streaming
+// began truncates the stream (the status line is long gone).
+func (s *Server) streamSimEvents(w http.ResponseWriter, r *http.Request, cfg eadvfs.Config) {
+	release, err := s.acquire(r.Context())
+	if err != nil {
+		if errors.Is(err, errOverload) {
+			s.rejected["overload"].Inc()
+		}
+		s.writeError(w, statusOf(err), err)
+		return
+	}
+	defer release()
+	ctx, cancel := context.WithTimeout(r.Context(), s.opts.Timeout)
+	defer cancel()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Accel-Buffering", "no")
+	jw := obs.NewJSONLWriter(w)
+	cfg.Probe = jw
+	runErr := experiment.RunHardened(func() error {
+		_, err := s.runSim(ctx, cfg)
+		return err
+	})
+	if runErr == nil {
+		s.engineRuns.Inc()
+	}
+	jw.Flush()
+	if f, ok := w.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// handleSweep serves POST /v1/sweep: a whole evaluation sweep (the
+// paper's Figures 6–9 shapes) as one cached unit. The sweep fans out
+// internally across experiment.Parallelism while occupying a single
+// worker slot here, so one heavy sweep cannot monopolize the admission
+// queue's accounting.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer func() { s.latency["sweep"].Observe(time.Since(start).Seconds()) }()
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		s.writeError(w, http.StatusMethodNotAllowed, errors.New("POST a sweep request"))
+		return
+	}
+	if s.draining.Load() {
+		s.rejected["draining"].Inc()
+		s.writeError(w, http.StatusServiceUnavailable, errDraining)
+		return
+	}
+	var req SweepRequest
+	if err := decodeStrict(http.MaxBytesReader(w, r.Body, maxBodyBytes), &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("sweep request: %w", err))
+		return
+	}
+	switch req.Kind {
+	case "missrate", "remaining":
+	default:
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("unknown sweep kind %q (want missrate or remaining)", req.Kind))
+		return
+	}
+	req.Spec = normalizeSpec(req.Spec)
+	if err := req.Spec.Validate(); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Policies) == 0 {
+		s.writeError(w, http.StatusBadRequest, errors.New("no policies requested"))
+		return
+	}
+	canonical, err := json.Marshal(req)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	key := digest.Compact(canonical)
+	// The registry attachment is an observer, excluded from the JSON form,
+	// so it cannot perturb the digest computed above.
+	req.Spec.Metrics = s.reg
+	s.serveCached(w, r, key, func(ctx context.Context) ([]byte, error) {
+		var out any
+		var err error
+		switch req.Kind {
+		case "missrate":
+			out, err = experiment.MissRateSweepCtx(ctx, req.Spec, req.Policies)
+		case "remaining":
+			out, err = experiment.RemainingEnergyCtx(ctx, req.Spec, req.Policies)
+		}
+		if err != nil {
+			return nil, err
+		}
+		s.engineRuns.Inc()
+		return json.Marshal(out)
+	})
+}
+
+// normalizeSpec fills a sweep spec's zero fields from the paper defaults
+// (experiment.DefaultSpec), the same leniency the easim facade gives its
+// Config. Normalizing BEFORE digesting also canonicalizes: a request that
+// spells a default out and one that omits it name the same sweep, so they
+// share a cache entry.
+func normalizeSpec(s experiment.Spec) experiment.Spec {
+	d := experiment.DefaultSpec()
+	if s.Horizon == 0 {
+		s.Horizon = d.Horizon
+	}
+	if s.NumTasks == 0 {
+		s.NumTasks = d.NumTasks
+	}
+	if s.Utilization == 0 {
+		s.Utilization = d.Utilization
+	}
+	if len(s.Capacities) == 0 {
+		s.Capacities = d.Capacities
+	}
+	if s.Replications == 0 {
+		s.Replications = d.Replications
+	}
+	if s.Seed == 0 {
+		s.Seed = d.Seed
+	}
+	if s.Predictor == "" {
+		s.Predictor = d.Predictor
+	}
+	if s.PMax == 0 {
+		s.PMax = d.PMax
+	}
+	return s
+}
+
+// handleMetrics serves the Prometheus text exposition of the registry.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w)
+}
+
+// handleHealthz reports liveness, flipping to 503 while draining so load
+// balancers stop routing new work during a rolling restart.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// handleVersion reports the build identity (internal/buildinfo), the same
+// identity run manifests record.
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	bi := buildinfo.Get()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(struct {
+		Tool      string `json:"tool"`
+		GoVersion string `json:"go_version"`
+		Revision  string `json:"vcs_revision,omitempty"`
+		Dirty     bool   `json:"vcs_dirty"`
+	}{"easerve", bi.GoVersion, bi.Revision, bi.Dirty})
+}
+
+// recordRunMetrics tallies a facade-level run outcome into the registry
+// under the same eadvfs_run_* series the experiment harness exports
+// (experiment.RecordRunMetrics), so dashboards work on either source.
+func recordRunMetrics(reg *obs.Registry, res *eadvfs.Result) {
+	reg.Counter("eadvfs_runs_total", "completed simulation runs").Inc()
+	const jobsHelp = "jobs by outcome across runs"
+	reg.Counter(obs.Labeled("eadvfs_run_jobs_total", "outcome", "released"), jobsHelp).Add(float64(res.Released))
+	reg.Counter(obs.Labeled("eadvfs_run_jobs_total", "outcome", "finished"), jobsHelp).Add(float64(res.Finished))
+	reg.Counter(obs.Labeled("eadvfs_run_jobs_total", "outcome", "missed"), jobsHelp).Add(float64(res.Missed))
+	const timeHelp = "simulated time by processor mode across runs"
+	reg.Counter(obs.Labeled("eadvfs_run_time_total", "mode", "busy"), timeHelp).Add(res.BusyTime)
+	reg.Counter(obs.Labeled("eadvfs_run_time_total", "mode", "idle"), timeHelp).Add(res.IdleTime)
+	reg.Counter(obs.Labeled("eadvfs_run_time_total", "mode", "stall"), timeHelp).Add(res.StallTime)
+	reg.Counter("eadvfs_run_cpu_energy_total", "energy delivered to the processor across runs").Add(res.CPUEnergy)
+	reg.Summary("eadvfs_run_miss_rate", "per-run deadline miss rate").Observe(res.MissRate)
+	if res.Degradation != (eadvfs.Degradation{}) {
+		reg.Counter("eadvfs_run_degraded_total", "runs with any fault-induced degradation").Inc()
+	}
+}

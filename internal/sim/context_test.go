@@ -1,0 +1,47 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"github.com/eadvfs/eadvfs/internal/sched"
+)
+
+// A pre-cancelled context aborts the run at the first poll with an error
+// wrapping the context's error and no result.
+func TestRunContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := fig1Config(sched.LSA{})
+	cfg.Context = ctx
+	res, err := Run(cfg)
+	if err == nil {
+		t.Fatal("Run with cancelled context succeeded")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not unwrap to context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatalf("cancelled run returned a result: %+v", res)
+	}
+}
+
+// An attached-but-live context must not change the run: the result is
+// bit-identical to a context-free run (the poll only reads Err()).
+func TestRunContextLiveIsBitIdentical(t *testing.T) {
+	base, err := Run(fig1Config(sched.LSA{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fig1Config(sched.LSA{})
+	cfg.Context = context.Background()
+	got, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Miss != base.Miss || got.CPUEnergy != base.CPUEnergy ||
+		got.FinalLevel != base.FinalLevel || got.Events != base.Events {
+		t.Fatalf("context-attached run diverged: %+v vs %+v", got, base)
+	}
+}

@@ -11,6 +11,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -148,6 +149,13 @@ type Config struct {
 	// dispatched events (0 = unlimited) — a watchdog that turns a runaway
 	// decision loop into a diagnosable error instead of a hung worker.
 	MaxEvents uint64
+
+	// Context, when non-nil, cancels the run cooperatively: the engine
+	// polls it every 256 dispatched events and aborts with an error
+	// wrapping ctx.Err() (and a nil Result). This is how a simulation
+	// service propagates an abandoned request or a per-request timeout
+	// into a running engine; nil (the default) costs nothing.
+	Context context.Context
 }
 
 // Validate checks the configuration for structural errors.
@@ -404,6 +412,15 @@ func (e *engine) dispatch() error {
 				Time:    e.simNow,
 				Horizon: e.cfg.Horizon,
 				Pending: e.pendingEvents(),
+			}
+		}
+		// Cooperative cancellation: poll the context every 256 events —
+		// frequent enough to abort within microseconds of real time, rare
+		// enough that the nil-context hot path stays unmeasurable.
+		if e.cfg.Context != nil && e.dispatched&0xFF == 0 {
+			if err := e.cfg.Context.Err(); err != nil {
+				return fmt.Errorf("sim: run cancelled at t=%g after %d events: %w",
+					e.simNow, e.dispatched, err)
 			}
 		}
 		e.dispatched++
