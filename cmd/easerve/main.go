@@ -8,8 +8,8 @@
 // Usage:
 //
 //	easerve [-addr :8080] [-workers N] [-queue 64] [-cache 4096]
-//	        [-timeout 120s] [-retry-after 1s] [-drain-timeout 30s]
-//	        [-version]
+//	        [-cache-bytes 67108864] [-max-body 1048576] [-timeout 120s]
+//	        [-retry-after 1s] [-drain-timeout 30s] [-version]
 //
 // Endpoints:
 //
@@ -48,7 +48,9 @@ func main() {
 		addr         = flag.String("addr", ":8080", "listen address")
 		workers      = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
 		queue        = flag.Int("queue", 64, "requests allowed to wait for a worker before shedding 429")
-		cacheSize    = flag.Int("cache", 4096, "result-cache entries retained (FIFO eviction)")
+		cacheSize    = flag.Int("cache", 4096, "result-cache entries retained (LRU eviction)")
+		cacheBytes   = flag.Int64("cache-bytes", 64<<20, "result-cache byte budget (LRU eviction)")
+		maxBody      = flag.Int64("max-body", 1<<20, "largest accepted request body in bytes (413 beyond)")
 		timeout      = flag.Duration("timeout", 120*time.Second, "per-request compute budget")
 		retryAfter   = flag.Duration("retry-after", time.Second, "Retry-After hint on 429/503 responses")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight work on SIGTERM")
@@ -63,6 +65,8 @@ func main() {
 		Workers:      *workers,
 		Queue:        *queue,
 		CacheEntries: *cacheSize,
+		CacheBytes:   *cacheBytes,
+		MaxBodyBytes: *maxBody,
 		Timeout:      *timeout,
 		RetryAfter:   *retryAfter,
 	}); err != nil {

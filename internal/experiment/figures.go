@@ -78,23 +78,69 @@ func RemainingEnergyCtx(ctx context.Context, s Spec, policyNames []string) (*Rem
 		return nil, err
 	}
 
+	// Fold each replication's (capacity, policy) block into per-policy
+	// partial curves, then fold replications in r order. This two-level
+	// fold is the merge contract: a shard ships its replications' partial
+	// curves and MergeShards runs the identical outer fold, so a complete
+	// merge is bit-identical to this single-node path.
+	curves := make([][][]float64, s.Replications)
+	for r := 0; r < s.Replications; r++ {
+		curves[r] = repEnergyCurves(s, np, series[r*nc*np:(r+1)*nc*np])
+	}
+	return aggregateRemaining(s, policyNames, curves, nil)
+}
+
+// repEnergyCurves folds one replication's (capacity, policy) block of
+// energy series — block[ci*np+pi], covering the full capacity sweep — into
+// np normalized partial curves: curve[pi][k] = Σ_ci EC(t_k)/C_ci, summed
+// in capacity order.
+func repEnergyCurves(s Spec, np int, block []*metrics.Series) [][]float64 {
 	n := int(s.Horizon) + 1
+	curves := make([][]float64, np)
+	for pi := range curves {
+		curves[pi] = make([]float64, n)
+	}
+	for ci, capacity := range s.Capacities {
+		for pi := 0; pi < np; pi++ {
+			dst := curves[pi]
+			for k, v := range block[ci*np+pi].Values {
+				dst[k] += v / capacity
+			}
+		}
+	}
+	return curves
+}
+
+// aggregateRemaining folds per-replication partial curves (repEnergyCurves
+// output, indexed by replication) into the Figures 6–7 averages.
+// Replications are folded in r order so the result is deterministic. When
+// present is non-nil, replications marked absent are skipped (curves[r]
+// may be nil) and the average runs over the covered replications only;
+// present == nil means full coverage.
+func aggregateRemaining(s Spec, policyNames []string, curves [][][]float64, present []bool) (*RemainingEnergyResult, error) {
+	n := int(s.Horizon) + 1
+	np := len(policyNames)
 	acc := make(map[string]*metrics.Series, np)
 	for _, name := range policyNames {
 		acc[name] = metrics.NewSeries(0, 1, n)
 	}
+	completed := 0
 	for r := 0; r < s.Replications; r++ {
-		for ci, capacity := range s.Capacities {
-			for pi, name := range policyNames {
-				src := series[(r*nc+ci)*np+pi]
-				dst := acc[name].Values
-				for k, v := range src.Values {
-					dst[k] += v / capacity
-				}
+		if present != nil && !present[r] {
+			continue
+		}
+		completed++
+		for pi, name := range policyNames {
+			dst := acc[name].Values
+			for k, v := range curves[r][pi] {
+				dst[k] += v
 			}
 		}
 	}
-	div := float64(s.Replications * nc)
+	if completed == 0 {
+		return nil, fmt.Errorf("experiment: no replications covered")
+	}
+	div := float64(completed * len(s.Capacities))
 	for _, sr := range acc {
 		for k := range sr.Values {
 			sr.Values[k] /= div
@@ -172,7 +218,18 @@ func MissRateSweepCtx(ctx context.Context, s Spec, policyNames []string) (*MissR
 	if err := runParallelCtx(ctx, jobs); err != nil {
 		return nil, err
 	}
+	return aggregateMissRate(s, policyNames, tallies, nil), nil
+}
 
+// aggregateMissRate pools per-run tallies — slot layout (r*nc+ci)*np+pi —
+// into the Figures 8–9 result. The fold order (replication outermost,
+// policy innermost) fixes the Welford accumulation sequence, so the same
+// tallies always produce bit-identical standard errors; MergeShards runs
+// this same fold over scattered shard tallies. When present is non-nil,
+// slots marked absent are skipped and the pooled rates cover the remaining
+// cells only; present == nil means full coverage.
+func aggregateMissRate(s Spec, policyNames []string, tallies []metrics.MissStats, present []bool) *MissRateResult {
+	nc, np := len(s.Capacities), len(policyNames)
 	out := &MissRateResult{
 		Spec:       s,
 		Capacities: append([]float64(nil), s.Capacities...),
@@ -190,7 +247,11 @@ func MissRateSweepCtx(ctx context.Context, s Spec, policyNames []string) (*MissR
 	for r := 0; r < s.Replications; r++ {
 		for ci := range s.Capacities {
 			for pi, name := range policyNames {
-				tally := tallies[(r*nc+ci)*np+pi]
+				slot := (r*nc+ci)*np + pi
+				if present != nil && !present[slot] {
+					continue
+				}
+				tally := tallies[slot]
 				out.Stats[name][ci].Add(tally)
 				acc[name][ci].Add(tally.Rate())
 			}
@@ -202,7 +263,7 @@ func MissRateSweepCtx(ctx context.Context, s Spec, policyNames []string) (*MissR
 			out.StdErr[name][ci] = acc[name][ci].StdErr()
 		}
 	}
-	return out, nil
+	return out
 }
 
 // replicateAll derives every replication up front (cheap; keeps worker

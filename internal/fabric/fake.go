@@ -1,0 +1,257 @@
+package fabric
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"github.com/eadvfs/eadvfs/internal/digest"
+	"github.com/eadvfs/eadvfs/internal/experiment"
+	"github.com/eadvfs/eadvfs/internal/rng"
+	"github.com/eadvfs/eadvfs/internal/service"
+)
+
+// Fault is one injectable worker failure mode.
+type Fault int
+
+const (
+	// FaultDrop loses the request: the attempt hangs until its context
+	// expires, like a black-holed TCP connection.
+	FaultDrop Fault = iota
+	// FaultDelay stalls the response by the worker's Delay before serving
+	// it correctly — the straggler that hedging exists for.
+	FaultDelay
+	// Fault5xx answers 500 without doing any work.
+	Fault5xx
+	// FaultShed answers 429 with a Retry-After hint, like an overloaded
+	// easerve.
+	FaultShed
+	// FaultMalformed answers 200 with a truncated JSON body.
+	FaultMalformed
+	// FaultDisconnect breaks the connection mid-stream: the client sees a
+	// transport error after partial bytes.
+	FaultDisconnect
+)
+
+func (f Fault) String() string {
+	switch f {
+	case FaultDrop:
+		return "drop"
+	case FaultDelay:
+		return "delay"
+	case Fault5xx:
+		return "5xx"
+	case FaultShed:
+		return "shed"
+	case FaultMalformed:
+		return "malformed"
+	case FaultDisconnect:
+		return "disconnect"
+	}
+	return "unknown"
+}
+
+// FakeWorker is one simulated easerve behind a FakeTransport.
+type FakeWorker struct {
+	// FailRate in [0, 1) is the probability an attempt draws a fault.
+	FailRate float64
+	// Faults cycles deterministically over the modes injected on a fault
+	// draw (default: 5xx).
+	Faults []Fault
+	// Delay is FaultDelay's stall (default 50ms).
+	Delay time.Duration
+	// Dead simulates a killed process: every request and health probe
+	// fails with a connection error. Toggle with FakeTransport.Kill.
+	Dead bool
+
+	faultCursor int
+	calls       int
+	served      int
+	cache       map[string][]byte // digest → envelope: the single-flight result cache
+}
+
+// FakeTransport is a deterministic in-process worker pool: every fault
+// draw comes from a seeded stream, so a given seed and request sequence
+// replays the identical failure schedule. Shard computation is the real
+// experiment.RunShardCtx, and results are cached by request digest like a
+// real easerve, so cache-affinity effects (consistent hashing) are
+// observable via ServedBy/CacheHits.
+type FakeTransport struct {
+	mu      sync.Mutex
+	workers map[string]*FakeWorker
+	draw    *rng.RNG
+	hits    int
+}
+
+// NewFakeTransport builds a pool over the named workers; seed pins the
+// fault schedule.
+func NewFakeTransport(seed uint64, workers map[string]*FakeWorker) *FakeTransport {
+	for _, w := range workers {
+		if len(w.Faults) == 0 {
+			w.Faults = []Fault{Fault5xx}
+		}
+		if w.Delay <= 0 {
+			w.Delay = 50 * time.Millisecond
+		}
+		w.cache = make(map[string][]byte)
+	}
+	return &FakeTransport{workers: workers, draw: rng.New(seed)}
+}
+
+// Kill marks a worker dead (mid-sweep worker loss) — or revives it.
+func (t *FakeTransport) Kill(worker string, dead bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if w := t.workers[worker]; w != nil {
+		w.Dead = dead
+	}
+}
+
+// Calls reports how many sweep requests a worker has received.
+func (t *FakeTransport) Calls(worker string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if w := t.workers[worker]; w != nil {
+		return w.calls
+	}
+	return 0
+}
+
+// Served reports how many requests a worker answered successfully.
+func (t *FakeTransport) Served(worker string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if w := t.workers[worker]; w != nil {
+		return w.served
+	}
+	return 0
+}
+
+// CacheHits reports pool-wide single-flight cache hits — repeat shards
+// landing on a worker that already computed their digest.
+func (t *FakeTransport) CacheHits() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.hits
+}
+
+var errFakeConnRefused = errors.New("fake: connection refused")
+
+// Do implements Transport with deterministic fault injection in front of
+// a real shard computation.
+func (t *FakeTransport) Do(ctx context.Context, worker string, body []byte) (*Envelope, error) {
+	t.mu.Lock()
+	w, ok := t.workers[worker]
+	if !ok {
+		t.mu.Unlock()
+		return nil, fmt.Errorf("fake: unknown worker %q", worker)
+	}
+	w.calls++
+	if w.Dead {
+		t.mu.Unlock()
+		return nil, errFakeConnRefused
+	}
+	fault := Fault(-1)
+	if w.FailRate > 0 && t.draw.Float64() < w.FailRate {
+		fault = w.Faults[w.faultCursor%len(w.Faults)]
+		w.faultCursor++
+	}
+	delay := w.Delay
+	t.mu.Unlock()
+
+	switch fault {
+	case FaultDrop:
+		<-ctx.Done() // black hole: only the caller's deadline ends this
+		return nil, ctx.Err()
+	case FaultDelay:
+		if !sleepCtx(ctx, delay) {
+			return nil, ctx.Err()
+		}
+	case Fault5xx:
+		return nil, fmt.Errorf("fake: %s returned %d", worker, http.StatusInternalServerError)
+	case FaultShed:
+		return nil, &ShedError{Worker: worker, Status: http.StatusTooManyRequests, RetryAfter: time.Millisecond}
+	case FaultMalformed:
+		return nil, fmt.Errorf("fake: %s sent malformed response: unexpected EOF", worker)
+	case FaultDisconnect:
+		return nil, fmt.Errorf("fake: %s: %w", worker, errors.New("connection reset mid-stream"))
+	}
+
+	env, err := t.serve(ctx, worker, w, body)
+	if err != nil {
+		return nil, err
+	}
+	// A mid-serve kill still loses the response.
+	t.mu.Lock()
+	dead := w.Dead
+	if !dead {
+		w.served++
+	}
+	t.mu.Unlock()
+	if dead {
+		return nil, errFakeConnRefused
+	}
+	return env, nil
+}
+
+// serve computes (or re-serves) the shard like a real worker: validate,
+// single-flight cache by request digest, run, store the envelope bytes.
+func (t *FakeTransport) serve(ctx context.Context, worker string, w *FakeWorker, body []byte) (*Envelope, error) {
+	key := digest.Compact(body)
+	t.mu.Lock()
+	cached, ok := w.cache[key]
+	if ok {
+		t.hits++
+	}
+	t.mu.Unlock()
+	if !ok {
+		var req service.SweepRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			return nil, &PermanentError{Worker: worker, Status: http.StatusBadRequest, Body: err.Error()}
+		}
+		if req.Shard == nil {
+			return nil, &PermanentError{Worker: worker, Status: http.StatusBadRequest, Body: "fake transport serves only sharded requests"}
+		}
+		res, err := experiment.RunShardCtx(ctx, req.Kind, req.Spec, req.Policies, *req.Shard)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			return nil, &PermanentError{Worker: worker, Status: http.StatusBadRequest, Body: err.Error()}
+		}
+		payload, err := json.Marshal(res)
+		if err != nil {
+			return nil, err
+		}
+		cached, err = json.Marshal(Envelope{Digest: key, Result: payload})
+		if err != nil {
+			return nil, err
+		}
+		t.mu.Lock()
+		w.cache[key] = cached
+		t.mu.Unlock()
+	}
+	var env Envelope
+	if err := json.Unmarshal(cached, &env); err != nil {
+		return nil, err
+	}
+	return &env, nil
+}
+
+// Healthy implements Transport: dead workers refuse probes.
+func (t *FakeTransport) Healthy(ctx context.Context, worker string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	w, ok := t.workers[worker]
+	if !ok {
+		return fmt.Errorf("fake: unknown worker %q", worker)
+	}
+	if w.Dead {
+		return errFakeConnRefused
+	}
+	return nil
+}

@@ -1,16 +1,25 @@
 package service
 
-import "sync"
+import (
+	"container/list"
+	"sync"
+)
 
 // entry is one cache slot: a result being computed or already computed.
 // ready is closed exactly once, when the leader finishes; result and err
 // are immutable afterwards. Waiters select on ready against their own
 // request context, so an abandoned client never blocks on someone else's
-// computation.
+// computation. Waiters hold the *entry directly, so evicting a completed
+// entry from the cache never invalidates a response in flight.
 type entry struct {
 	ready  chan struct{}
 	result []byte // compact JSON payload; nil when err != nil
 	err    error
+
+	// LRU bookkeeping, guarded by the cache mutex. elem is non-nil only
+	// while the (completed) entry is resident in the recency list.
+	elem *list.Element
+	size int64
 }
 
 // done reports whether the entry has been completed.
@@ -27,31 +36,52 @@ func (e *entry) done() bool {
 // for a key becomes the leader and computes; concurrent requests for the
 // same key wait on the leader's entry instead of enqueueing duplicate
 // work, so N identical requests cost one engine run. Completed successful
-// entries are retained up to max and evicted FIFO; failed computations are
-// never cached (the next request retries). In-flight entries are exempt
-// from eviction — evicting one would break the single-flight guarantee.
+// entries are retained under two bounds — an entry count and a total byte
+// budget over stored payloads — and evicted least-recently-used (a lookup
+// refreshes recency); failed computations are never cached. In-flight
+// entries are exempt from eviction — evicting one would break the
+// single-flight guarantee — and do not count against the byte budget
+// until they complete.
 type cache struct {
-	mu      sync.Mutex
-	max     int
-	entries map[string]*entry
-	order   []string // completed entries in completion order, oldest first
+	mu         sync.Mutex
+	maxEntries int
+	maxBytes   int64
+	bytes      int64
+	entries    map[string]*entry
+	lru        *list.List // of string keys; front = most recently used
+
+	// onEvict, when set, observes evictions (count per complete call).
+	// Called outside the cache mutex.
+	onEvict func(evicted int)
 }
 
-func newCache(max int) *cache {
-	if max < 1 {
-		max = 1
+func newCache(maxEntries int, maxBytes int64) *cache {
+	if maxEntries < 1 {
+		maxEntries = 1
 	}
-	return &cache{max: max, entries: make(map[string]*entry)}
+	if maxBytes < 1 {
+		maxBytes = 1
+	}
+	return &cache{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		entries:    make(map[string]*entry),
+		lru:        list.New(),
+	}
 }
 
 // begin returns the entry for key and whether the caller is its leader.
-// A leader MUST eventually call complete with the same key and entry,
-// whatever happens — a leaked in-flight entry would wedge every future
-// request for the key.
+// A completed resident entry is refreshed to most-recently-used. A leader
+// MUST eventually call complete with the same key and entry, whatever
+// happens — a leaked in-flight entry would wedge every future request for
+// the key.
 func (c *cache) begin(key string) (*entry, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if e, ok := c.entries[key]; ok {
+		if e.elem != nil {
+			c.lru.MoveToFront(e.elem)
+		}
 		return e, false
 	}
 	e := &entry{ready: make(chan struct{})}
@@ -60,24 +90,40 @@ func (c *cache) begin(key string) (*entry, bool) {
 }
 
 // complete finishes a leader's computation. Successful results stay cached
-// (evicting the oldest completed entry beyond the bound); failures are
-// removed so a later request can retry — but current waiters observe the
-// error, not a silent retry.
+// and count against both bounds, evicting least-recently-used completed
+// entries while either bound is exceeded (a result larger than the whole
+// byte budget is evicted immediately — its waiters still hold the entry);
+// failures are removed so a later request can retry, but current waiters
+// observe the error, not a silent retry.
 func (c *cache) complete(key string, e *entry, result []byte, err error) {
+	evicted := 0
 	c.mu.Lock()
 	e.result, e.err = result, err
 	if err != nil {
 		delete(c.entries, key)
 	} else {
-		c.order = append(c.order, key)
-		for len(c.order) > c.max {
-			evict := c.order[0]
-			c.order = c.order[1:]
-			delete(c.entries, evict)
+		e.size = int64(len(result))
+		e.elem = c.lru.PushFront(key)
+		c.bytes += e.size
+		for c.lru.Len() > c.maxEntries || c.bytes > c.maxBytes {
+			oldest := c.lru.Back()
+			if oldest == nil {
+				break
+			}
+			k := oldest.Value.(string)
+			victim := c.entries[k]
+			c.lru.Remove(oldest)
+			victim.elem = nil
+			c.bytes -= victim.size
+			delete(c.entries, k)
+			evicted++
 		}
 	}
 	c.mu.Unlock()
 	close(e.ready)
+	if evicted > 0 && c.onEvict != nil {
+		c.onEvict(evicted)
+	}
 }
 
 // len reports the number of live entries (completed + in-flight).
@@ -85,4 +131,12 @@ func (c *cache) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.entries)
+}
+
+// bytesUsed reports the byte budget currently consumed by completed
+// entries.
+func (c *cache) bytesUsed() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
 }

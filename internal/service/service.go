@@ -52,10 +52,16 @@ import (
 	"github.com/eadvfs/eadvfs/internal/obs"
 )
 
-// maxBodyBytes bounds a request body; a simulation spec is a few hundred
-// bytes, so 1 MiB leaves room for large explicit task sets while keeping
-// a hostile client from ballooning memory.
-const maxBodyBytes = 1 << 20
+// defaultMaxBodyBytes bounds a request body; a simulation spec is a few
+// hundred bytes, so 1 MiB leaves room for large explicit task sets while
+// keeping a hostile client from ballooning memory.
+const defaultMaxBodyBytes = 1 << 20
+
+// defaultCacheBytes is the default result-cache byte budget (64 MiB): a
+// remaining-energy sweep at paper scale is a few MiB of JSON, so the
+// default holds plenty of distinct sweeps while bounding worst-case
+// resident memory.
+const defaultCacheBytes = 64 << 20
 
 // Options configures a Server. Zero values take the documented defaults.
 type Options struct {
@@ -66,8 +72,16 @@ type Options struct {
 	// Queue bounds requests waiting for a worker (default 64). Admission
 	// beyond Workers+Queue is refused with 429.
 	Queue int
-	// CacheEntries bounds retained results, evicted FIFO (default 4096).
+	// CacheEntries bounds retained results (default 4096), evicted
+	// least-recently-used together with CacheBytes.
 	CacheEntries int
+	// CacheBytes bounds the total stored bytes of retained results
+	// (default 64 MiB). Whichever of the two cache bounds is exceeded
+	// first triggers LRU eviction.
+	CacheBytes int64
+	// MaxBodyBytes bounds a request body (default 1 MiB); larger bodies
+	// are refused with 413.
+	MaxBodyBytes int64
 	// Timeout is the per-request compute budget (default 120s). An
 	// expired budget aborts the engine mid-run and returns 504.
 	Timeout time.Duration
@@ -87,6 +101,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.CacheEntries <= 0 {
 		o.CacheEntries = 4096
+	}
+	if o.CacheBytes <= 0 {
+		o.CacheBytes = defaultCacheBytes
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = defaultMaxBodyBytes
 	}
 	if o.Timeout <= 0 {
 		o.Timeout = 120 * time.Second
@@ -116,6 +136,14 @@ type SweepRequest struct {
 	Spec experiment.Spec `json:"spec"`
 	// Policies names the policies to compare under identical conditions.
 	Policies []string `json:"policies"`
+	// Shard, when present, restricts the sweep to one disjoint slice of a
+	// coordinator's plan (experiment.PlanShards); the result payload is
+	// then an experiment.ShardResult — raw per-cell material for exact
+	// merging — rather than the aggregate. The worker validates the shard
+	// against the (normalized) spec, so a stale or corrupted plan fails
+	// with 400 instead of computing the wrong cells. Absent for ordinary
+	// whole-sweep requests, which keep their PR-5 digests.
+	Shard *experiment.Shard `json:"shard,omitempty"`
 }
 
 // response is the JSON envelope of a computed or cached result. The
@@ -152,10 +180,12 @@ type Server struct {
 	cacheJoin  *obs.Counter // waited on an in-flight identical request
 	cacheMiss  *obs.Counter // led a new computation
 	engineRuns *obs.Counter
+	cacheEvict *obs.Counter
 	rejected   map[string]*obs.Counter
 	queueDepth *obs.Gauge
 	inFlight   *obs.Gauge
 	cacheSize  *obs.Gauge
+	cacheBytes *obs.Gauge
 	latency    map[string]*obs.Summary
 }
 
@@ -165,7 +195,7 @@ func New(opts Options) *Server {
 	s := &Server{
 		opts:   o,
 		reg:    o.Registry,
-		cache:  newCache(o.CacheEntries),
+		cache:  newCache(o.CacheEntries, o.CacheBytes),
 		slots:  make(chan struct{}, o.Workers),
 		queued: make(chan struct{}, o.Queue),
 		runSim: eadvfs.RunContext,
@@ -175,6 +205,12 @@ func New(opts Options) *Server {
 	s.cacheJoin = s.reg.Counter(obs.Labeled("easerve_cache_requests_total", "outcome", "join"), cacheHelp)
 	s.cacheMiss = s.reg.Counter(obs.Labeled("easerve_cache_requests_total", "outcome", "miss"), cacheHelp)
 	s.engineRuns = s.reg.Counter("easerve_engine_runs_total", "simulation/sweep executions (cache misses that ran)")
+	s.cacheEvict = s.reg.Counter("easerve_cache_evictions_total", "completed results evicted by the LRU bounds")
+	s.cache.onEvict = func(evicted int) {
+		s.cacheEvict.Add(float64(evicted))
+		s.cacheSize.Set(float64(s.cache.len()))
+		s.cacheBytes.Set(float64(s.cache.bytesUsed()))
+	}
 	const rejHelp = "requests shed by reason"
 	s.rejected = map[string]*obs.Counter{
 		"overload": s.reg.Counter(obs.Labeled("easerve_rejected_total", "reason", "overload"), rejHelp),
@@ -183,6 +219,7 @@ func New(opts Options) *Server {
 	s.queueDepth = s.reg.Gauge("easerve_queue_depth", "requests waiting for a worker slot")
 	s.inFlight = s.reg.Gauge("easerve_inflight", "requests executing on a worker slot")
 	s.cacheSize = s.reg.Gauge("easerve_cache_entries", "live result-cache entries (completed + in-flight)")
+	s.cacheBytes = s.reg.Gauge("easerve_cache_bytes", "bytes of completed results resident in the cache")
 	const latHelp = "request service time in seconds"
 	s.latency = map[string]*obs.Summary{
 		"sim":   s.reg.Summary(obs.Labeled("easerve_request_seconds", "endpoint", "sim"), latHelp),
@@ -264,6 +301,16 @@ func decodeStrict(r io.Reader, dst any) error {
 	return nil
 }
 
+// decodeStatus maps a request-body decode failure to an HTTP status:
+// 413 when the body blew the MaxBytesReader bound, 400 otherwise.
+func decodeStatus(err error) int {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
 // statusOf maps a compute error to an HTTP status.
 func statusOf(err error) int {
 	var pe *experiment.PanicError
@@ -338,6 +385,7 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string,
 		// at write time.
 		s.cache.complete(key, e, append(envelope, '\n'), err)
 		s.cacheSize.Set(float64(s.cache.len()))
+		s.cacheBytes.Set(float64(s.cache.bytesUsed()))
 	} else {
 		select {
 		case <-e.ready:
@@ -382,8 +430,8 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var cfg eadvfs.Config
-	if err := decodeStrict(http.MaxBytesReader(w, r.Body, maxBodyBytes), &cfg); err != nil {
-		s.writeError(w, http.StatusBadRequest, fmt.Errorf("sim config: %w", err))
+	if err := decodeStrict(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes), &cfg); err != nil {
+		s.writeError(w, decodeStatus(err), fmt.Errorf("sim config: %w", err))
 		return
 	}
 	canonical, err := json.Marshal(cfg)
@@ -477,8 +525,8 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req SweepRequest
-	if err := decodeStrict(http.MaxBytesReader(w, r.Body, maxBodyBytes), &req); err != nil {
-		s.writeError(w, http.StatusBadRequest, fmt.Errorf("sweep request: %w", err))
+	if err := decodeStrict(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes), &req); err != nil {
+		s.writeError(w, decodeStatus(err), fmt.Errorf("sweep request: %w", err))
 		return
 	}
 	switch req.Kind {
@@ -487,7 +535,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, fmt.Errorf("unknown sweep kind %q (want missrate or remaining)", req.Kind))
 		return
 	}
-	req.Spec = normalizeSpec(req.Spec)
+	req.Spec = NormalizeSpec(req.Spec)
 	if err := req.Spec.Validate(); err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
@@ -495,6 +543,12 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if len(req.Policies) == 0 {
 		s.writeError(w, http.StatusBadRequest, errors.New("no policies requested"))
 		return
+	}
+	if req.Shard != nil {
+		if err := req.Shard.Validate(req.Spec, req.Kind); err != nil {
+			s.writeError(w, http.StatusBadRequest, err)
+			return
+		}
 	}
 	canonical, err := json.Marshal(req)
 	if err != nil {
@@ -508,10 +562,12 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	s.serveCached(w, r, key, func(ctx context.Context) ([]byte, error) {
 		var out any
 		var err error
-		switch req.Kind {
-		case "missrate":
+		switch {
+		case req.Shard != nil:
+			out, err = experiment.RunShardCtx(ctx, req.Kind, req.Spec, req.Policies, *req.Shard)
+		case req.Kind == "missrate":
 			out, err = experiment.MissRateSweepCtx(ctx, req.Spec, req.Policies)
-		case "remaining":
+		case req.Kind == "remaining":
 			out, err = experiment.RemainingEnergyCtx(ctx, req.Spec, req.Policies)
 		}
 		if err != nil {
@@ -522,12 +578,14 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// normalizeSpec fills a sweep spec's zero fields from the paper defaults
+// NormalizeSpec fills a sweep spec's zero fields from the paper defaults
 // (experiment.DefaultSpec), the same leniency the easim facade gives its
 // Config. Normalizing BEFORE digesting also canonicalizes: a request that
 // spells a default out and one that omits it name the same sweep, so they
-// share a cache entry.
-func normalizeSpec(s experiment.Spec) experiment.Spec {
+// share a cache entry. The fabric coordinator (internal/fabric) applies
+// the same normalization before planning shards, so the digests it routes
+// on are exactly the cache keys workers store under.
+func NormalizeSpec(s experiment.Spec) experiment.Spec {
 	d := experiment.DefaultSpec()
 	if s.Horizon == 0 {
 		s.Horizon = d.Horizon

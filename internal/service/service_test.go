@@ -552,3 +552,227 @@ func TestVersionEndpoint(t *testing.T) {
 		t.Fatalf("version payload %+v", v)
 	}
 }
+
+// The cache bounds are LRU over both entry count and byte budget: a
+// lookup refreshes recency, so the least-recently-touched digest is the
+// one to go, and evictions are counted in the metrics.
+func TestCacheEvictionLRUAndBytes(t *testing.T) {
+	s := New(Options{Workers: 1, CacheEntries: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	post := func(seed uint64) *http.Response {
+		cfg := smallConfig()
+		cfg.Seed = seed
+		resp := postJSON(t, ts, "/v1/sim", cfg)
+		readBody(t, resp)
+		return resp
+	}
+	post(1)
+	post(2)
+	post(1) // refresh seed 1: seed 2 becomes least recently used
+	post(3) // evicts seed 2
+	if got := post(1).Header.Get("X-Cache"); got != "hit" {
+		t.Fatalf("recently-used digest evicted: X-Cache = %q, want hit", got)
+	}
+	if got := post(2).Header.Get("X-Cache"); got != "miss" {
+		t.Fatalf("LRU digest retained: X-Cache = %q, want miss", got)
+	}
+	if !strings.Contains(metricsText(t, ts), "easerve_cache_evictions_total") {
+		t.Fatal("easerve_cache_evictions_total not exported")
+	}
+
+	// Byte budget: with a budget smaller than any result, every completion
+	// evicts immediately — responses still succeed, nothing is retained.
+	sb := New(Options{Workers: 1, CacheBytes: 1})
+	tsb := httptest.NewServer(sb.Handler())
+	defer tsb.Close()
+	for seed := uint64(1); seed <= 2; seed++ {
+		cfg := smallConfig()
+		cfg.Seed = seed
+		resp := postJSON(t, tsb, "/v1/sim", cfg)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("seed %d: status %d", seed, resp.StatusCode)
+		}
+		readBody(t, resp)
+	}
+	if n := sb.cache.len(); n != 0 {
+		t.Fatalf("1-byte budget retained %d entries", n)
+	}
+	if b := sb.cache.bytesUsed(); b != 0 {
+		t.Fatalf("1-byte budget accounts %d bytes", b)
+	}
+	var evictions float64
+	for _, line := range strings.Split(metricsText(t, tsb), "\n") {
+		if strings.HasPrefix(line, "easerve_cache_evictions_total") {
+			fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%g", &evictions)
+		}
+	}
+	if evictions != 2 {
+		t.Fatalf("evictions = %v, want 2", evictions)
+	}
+}
+
+// Oversized request bodies are refused with 413 before any decode work —
+// a hostile spec cannot balloon a worker's memory.
+func TestBodyTooLarge413(t *testing.T) {
+	s := New(Options{MaxBodyBytes: 64})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	big := `{"padding_field_that_does_not_exist": "` + strings.Repeat("x", 256) + `"}`
+	for _, path := range []string{"/v1/sim", "/v1/sweep"} {
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(big))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Fatalf("POST %s: status %d, want 413; body %s", path, resp.StatusCode, readBody(t, resp))
+		}
+		readBody(t, resp)
+	}
+
+	// A body within the bound still decodes (and then fails validation,
+	// not the size check).
+	resp, err := http.Post(ts.URL+"/v1/sim", "application/json", strings.NewReader(`{"Horizon": -1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode == http.StatusRequestEntityTooLarge {
+		t.Fatal("small body refused as too large")
+	}
+	readBody(t, resp)
+}
+
+// Single flight under leader abandonment: when the leading request's
+// context is cancelled mid-run, waiting duplicates must observe a clean
+// error (or a result) promptly — never a hang on an entry nobody will
+// complete. Run under -race.
+func TestLeaderCancellationUnblocksWaiters(t *testing.T) {
+	computing := make(chan struct{})
+	s := New(Options{Workers: 2})
+	s.runSim = func(ctx context.Context, cfg eadvfs.Config) (*eadvfs.Result, error) {
+		close(computing)
+		<-ctx.Done() // the leader's request context: dies when it disconnects
+		return nil, ctx.Err()
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	raw, err := json.Marshal(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	leaderDone := make(chan error, 1)
+	go func() {
+		req, err := http.NewRequestWithContext(leaderCtx, http.MethodPost, ts.URL+"/v1/sim", bytes.NewReader(raw))
+		if err != nil {
+			leaderDone <- err
+			return
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if resp != nil {
+			readBody(t, resp)
+		}
+		leaderDone <- err
+	}()
+	<-computing // the leader owns the cache entry and is inside the engine
+
+	// Waiters join the leader's entry, then the leader walks away.
+	const waiters = 4
+	statuses := make(chan int, waiters)
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/sim", "application/json", bytes.NewReader(raw))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			readBody(t, resp)
+			statuses <- resp.StatusCode
+		}()
+	}
+	waitFor(t, func() bool { return s.cacheJoin.Value()+s.cacheHit.Value() >= waiters })
+	cancelLeader()
+	<-leaderDone
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("waiters hung after leader cancellation")
+	}
+	close(statuses)
+	for code := range statuses {
+		if code != http.StatusServiceUnavailable {
+			t.Fatalf("waiter got %d, want 503 (clean retryable error)", code)
+		}
+	}
+	// The failed computation is not cached: the digest can be retried.
+	if n := s.cache.len(); n != 0 {
+		t.Fatalf("abandoned computation left %d cache entries", n)
+	}
+}
+
+// A sharded sweep request computes exactly the shard's raw cells — the
+// payload is byte-identical to running the shard with the library — and
+// sharded/unsharded requests name different cache keys.
+func TestShardedSweepMatchesRunShard(t *testing.T) {
+	s := New(Options{Workers: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	spec := experiment.DefaultSpec()
+	spec.Horizon = 500
+	spec.Replications = 4
+	spec.Capacities = []float64{300}
+	policies := []string{"lsa"}
+
+	shards, err := experiment.PlanShards("missrate", spec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	digests := map[string]bool{}
+	for i := range shards {
+		req := SweepRequest{Kind: "missrate", Spec: spec, Policies: policies, Shard: &shards[i]}
+		resp := postJSON(t, ts, "/v1/sweep", req)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("shard %d: status %d: %s", i, resp.StatusCode, readBody(t, resp))
+		}
+		digests[resp.Header.Get("X-Config-Digest")] = true
+		var env response
+		if err := json.Unmarshal(readBody(t, resp), &env); err != nil {
+			t.Fatal(err)
+		}
+		direct, err := experiment.RunShard("missrate", spec, policies, shards[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := json.Marshal(direct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal([]byte(env.Result), want) {
+			t.Fatalf("shard %d result diverges from direct run", i)
+		}
+	}
+	whole := postJSON(t, ts, "/v1/sweep", SweepRequest{Kind: "missrate", Spec: spec, Policies: policies})
+	digests[whole.Header.Get("X-Config-Digest")] = true
+	readBody(t, whole)
+	if len(digests) != 3 {
+		t.Fatalf("expected 3 distinct digests (2 shards + whole), got %d", len(digests))
+	}
+
+	// A shard that does not fit the spec is refused up front.
+	bad := experiment.Shard{Index: 0, Count: 1, RepLo: 0, RepHi: 99, CapLo: 0, CapHi: 1}
+	resp := postJSON(t, ts, "/v1/sweep", SweepRequest{Kind: "missrate", Spec: spec, Policies: policies, Shard: &bad})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid shard: status %d, want 400", resp.StatusCode)
+	}
+	readBody(t, resp)
+}
