@@ -13,15 +13,27 @@
 //
 // Usage:
 //
-//	eabench [-bench regexp] [-count 1] [-benchtime 1] [-json out.json]
-//	        [-check baseline.json] [-manifest-out manifest.json]
+//	eabench [-bench regexp] [-run regexp] [-count 1] [-benchtime 1]
+//	        [-json out.json] [-check baseline.json] [-check-perf=true]
+//	        [-manifest-out manifest.json]
 //	        [-cpuprofile cpu.out] [-memprofile mem.out] [-version]
 //
-// -check compares the run against a baseline JSON report and fails when a
-// case regresses: allocs/op beyond baseline×1.15+2 (the hot-path
-// allocation guard — a probe-free run must stay allocation-free) or
-// ns/op beyond baseline×2.5 (a loose wall-clock tripwire that tolerates
-// CI machine noise but catches order-of-magnitude slowdowns).
+// -run is a second case filter ANDed with -bench (mirroring `go test`'s
+// flag pair), so scripts can pin a sub-selection without clobbering a
+// caller-supplied -bench.
+//
+// -check compares the run against a baseline JSON report, prints a delta
+// line per compared case (current/baseline ratios for ns/op, allocs/op and
+// B/op), and fails when a case regresses: allocs/op beyond baseline×1.15+2
+// (the hot-path allocation guard — a probe-free run must stay
+// allocation-free), ns/op beyond baseline×2.5 (a loose wall-clock tripwire
+// that tolerates CI machine noise but catches order-of-magnitude
+// slowdowns), or any shape metric whose bits differ from the baseline's
+// (metrics are seed-deterministic; any drift means the science changed).
+// -check-perf=false skips the two perf bounds but keeps the bit-exact
+// metric comparison — the mode CI uses under the race detector, where
+// wall-clock and allocation counts are meaningless but the shape metrics
+// must still be identical.
 // -manifest-out records the build and measurement parameters.
 //
 // Examples:
@@ -29,6 +41,7 @@
 //	eabench -count 5 | tee new.txt && benchstat old.txt new.txt
 //	eabench -json BENCH_baseline.json
 //	eabench -check BENCH_baseline.json
+//	eabench -run 'Table1|RunMany' -check BENCH_baseline.json -check-perf=false
 //	eabench -bench Engine -benchtime 20 -cpuprofile cpu.out
 package main
 
@@ -36,6 +49,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"regexp"
 	"runtime"
@@ -70,12 +84,14 @@ type report struct {
 func main() {
 	var (
 		benchRe     = flag.String("bench", ".", "regexp selecting which cases to run")
+		runRe       = flag.String("run", "", "additional case filter ANDed with -bench (empty = no extra filter)")
 		count       = flag.Int("count", 1, "measurements per case (use >1 for benchstat input)")
 		benchtime   = flag.Int("benchtime", 1, "iterations per measurement (fixed, not adaptive: the workloads are deterministic)")
 		jsonPath    = flag.String("json", "", "write the JSON report (last measurement per case) to this file")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
 		memprofile  = flag.String("memprofile", "", "write an allocation profile taken after the run to this file")
-		checkPath   = flag.String("check", "", "compare against this baseline JSON report and fail on ns/op or allocs/op regressions")
+		checkPath   = flag.String("check", "", "compare against this baseline JSON report and fail on regressions")
+		checkPerf   = flag.Bool("check-perf", true, "enforce the ns/op and allocs/op bounds during -check (disable under -race, where both are meaningless; shape metrics are always compared)")
 		manifestOut = flag.String("manifest-out", "", "write the benchmark manifest (build, measurement parameters) to this file")
 		version     = flag.Bool("version", false, "print the build version and exit")
 	)
@@ -89,6 +105,12 @@ func main() {
 	re, err := regexp.Compile(*benchRe)
 	if err != nil {
 		fatalf("eabench: bad -bench regexp: %v", err)
+	}
+	var runFilter *regexp.Regexp
+	if *runRe != "" {
+		if runFilter, err = regexp.Compile(*runRe); err != nil {
+			fatalf("eabench: bad -run regexp: %v", err)
+		}
 	}
 	if *count < 1 || *benchtime < 1 {
 		fatalf("eabench: -count and -benchtime must be >= 1")
@@ -113,7 +135,7 @@ func main() {
 
 	ran := 0
 	for _, c := range bench.Cases() {
-		if !re.MatchString(c.Name) {
+		if !re.MatchString(c.Name) || (runFilter != nil && !runFilter.MatchString(c.Name)) {
 			continue
 		}
 		ran++
@@ -129,6 +151,9 @@ func main() {
 		rep.Cases = append(rep.Cases, last)
 	}
 	if ran == 0 {
+		if *runRe != "" {
+			fatalf("eabench: no cases match -bench %q AND -run %q", *benchRe, *runRe)
+		}
 		fatalf("eabench: no cases match -bench %q", *benchRe)
 	}
 
@@ -164,7 +189,7 @@ func main() {
 	}
 
 	if *checkPath != "" {
-		if err := checkAgainst(*checkPath, rep); err != nil {
+		if err := checkAgainst(*checkPath, rep, *checkPerf); err != nil {
 			fatalf("eabench: %v", err)
 		}
 		fmt.Fprintf(os.Stderr, "eabench: no regressions against %s\n", *checkPath)
@@ -183,10 +208,19 @@ const (
 )
 
 // checkAgainst compares this run's cases with a baseline report (the
-// -json schema, e.g. the checked-in BENCH_baseline.json). Cases present
-// in only one of the two reports are skipped: the baseline may predate a
-// new workload, and -bench may have filtered this run.
-func checkAgainst(path string, cur report) error {
+// -json schema, e.g. the checked-in BENCH_baseline.json). Every compared
+// case gets a delta line on stderr — current/baseline ratios for ns/op,
+// allocs/op and B/op — whether or not it regressed, so a passing CI log
+// still shows where the time went. All failures are collected and
+// reported, not just the first.
+//
+// Perf bounds (allocSlackFactor/nsSlackFactor) apply only when perf is
+// true; shape metrics present in both reports are always compared
+// bit-exactly (math.Float64bits — the JSON float64 round-trip is exact, so
+// equality is well-defined). Cases or metrics present in only one report
+// are skipped: the baseline may predate a new workload, and -bench/-run
+// may have filtered this run.
+func checkAgainst(path string, cur report, perf bool) error {
 	buf, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -204,18 +238,48 @@ func checkAgainst(path string, cur report) error {
 	for _, c := range cur.Cases {
 		b, ok := baseline[c.Name]
 		if !ok {
+			fmt.Fprintf(os.Stderr, "eabench: delta: %s: not in baseline, skipped\n", c.Name)
 			continue
 		}
 		compared++
-		if limit := b.AllocsOp*allocSlackFactor + allocSlackConst; c.AllocsOp > limit {
-			failures = append(failures, fmt.Sprintf(
-				"%s: allocs/op %.1f exceeds baseline %.1f (limit %.1f)",
-				c.Name, c.AllocsOp, b.AllocsOp, limit))
+		note := ""
+		if c.Iterations != b.Iterations {
+			note = fmt.Sprintf(" [iterations %d vs baseline %d — per-op amortization differs]",
+				c.Iterations, b.Iterations)
 		}
-		if limit := b.NsPerOp * nsSlackFactor; c.NsPerOp > limit {
-			failures = append(failures, fmt.Sprintf(
-				"%s: ns/op %.0f exceeds baseline %.0f (limit %.0f)",
-				c.Name, c.NsPerOp, b.NsPerOp, limit))
+		fmt.Fprintf(os.Stderr, "eabench: delta: %s: ns/op %.2fx, allocs/op %.2fx, B/op %.2fx%s\n",
+			c.Name, ratio(c.NsPerOp, b.NsPerOp), ratio(c.AllocsOp, b.AllocsOp),
+			ratio(c.BytesOp, b.BytesOp), note)
+		if perf {
+			if limit := b.AllocsOp*allocSlackFactor + allocSlackConst; c.AllocsOp > limit {
+				failures = append(failures, fmt.Sprintf(
+					"%s: allocs/op %.1f exceeds baseline %.1f (limit %.1f)",
+					c.Name, c.AllocsOp, b.AllocsOp, limit))
+			}
+			if limit := b.NsPerOp * nsSlackFactor; c.NsPerOp > limit {
+				failures = append(failures, fmt.Sprintf(
+					"%s: ns/op %.0f exceeds baseline %.0f (limit %.0f)",
+					c.Name, c.NsPerOp, b.NsPerOp, limit))
+			}
+		}
+		units := make([]string, 0, len(b.Metrics))
+		for u := range b.Metrics {
+			units = append(units, u)
+		}
+		sort.Strings(units)
+		for _, u := range units {
+			want := b.Metrics[u]
+			got, ok := c.Metrics[u]
+			if !ok {
+				failures = append(failures, fmt.Sprintf(
+					"%s: metric %s missing (baseline %g)", c.Name, u, want))
+				continue
+			}
+			if math.Float64bits(got) != math.Float64bits(want) {
+				failures = append(failures, fmt.Sprintf(
+					"%s: metric %s drifted: %v != baseline %v (bits %016x != %016x)",
+					c.Name, u, got, want, math.Float64bits(got), math.Float64bits(want)))
+			}
 		}
 	}
 	if compared == 0 {
@@ -228,6 +292,17 @@ func checkAgainst(path string, cur report) error {
 		return fmt.Errorf("%d regression(s) against %s", len(failures), path)
 	}
 	return nil
+}
+
+// ratio guards cur/base against a zero baseline (0/0 reads as parity).
+func ratio(cur, base float64) float64 {
+	if base == 0 {
+		if cur == 0 {
+			return 1
+		}
+		return math.Inf(1)
+	}
+	return cur / base
 }
 
 // measure runs one case for n iterations between two ReadMemStats

@@ -46,6 +46,8 @@ func Cases() []Case {
 		{Name: "Fig8MissRateLowU", Run: missRate(0.4)},
 		{Name: "Fig9MissRateHighU", Run: missRate(0.8)},
 		{Name: "Table1MinCapacityRatio", Run: runTable1},
+		{Name: "Table1WarmBisection", Run: runTable1Warm},
+		{Name: "RunManyBatch", Run: runRunManyBatch},
 		{Name: "Engine", Run: runEngine},
 		{Name: "ServiceRequestMiss", Run: runServiceMiss},
 		{Name: "ServiceRequestHit", Run: runServiceHit},
@@ -127,6 +129,79 @@ func runTable1(n int) (map[string]float64, error) {
 	out := make(map[string]float64, len(utils))
 	for i, u := range utils {
 		out[fmt.Sprintf("ratio/u%g", u)] = res.Ratio[i]
+	}
+	return out, nil
+}
+
+// runTable1Warm isolates one warm-start capacity search (one replication,
+// U=0.6, both Table 1 policies on a shared MinCapacitySearcher) from the
+// full Table 1 sweep, so eabench can watch the amortized bisection path —
+// runner reuse, probe memo, first-miss early exit — without the sweep's
+// parallel-runner noise. The cmin metrics pin the searched capacities; the
+// warm-vs-cold equality itself is pinned by the experiment tests.
+func runTable1Warm(n int) (map[string]float64, error) {
+	s := spec()
+	s.Horizon = 5000
+	s.Utilization = 0.6
+	factories, err := s.Policies([]string{"lsa", "ea-dvfs"})
+	if err != nil {
+		return nil, err
+	}
+	rep, err := experiment.Replicate(s, 0)
+	if err != nil {
+		return nil, err
+	}
+	rep.PrepareSource(s.Horizon)
+	var cLSA, cEA float64
+	for i := 0; i < n; i++ {
+		search, err := experiment.NewMinCapacitySearcher(s, rep, factories)
+		if err != nil {
+			return nil, err
+		}
+		var ok bool
+		if cLSA, ok, err = search.Search(0, experiment.MinCapLo, experiment.MinCapMaxHi, experiment.MinCapTol); err != nil {
+			return nil, err
+		} else if !ok {
+			return nil, fmt.Errorf("bench: lsa search found no zero-miss capacity")
+		}
+		if cEA, ok, err = search.Search(1, experiment.MinCapLo, experiment.MinCapMaxHi, experiment.MinCapTol); err != nil {
+			return nil, err
+		} else if !ok {
+			return nil, fmt.Errorf("bench: ea-dvfs search found no zero-miss capacity")
+		}
+	}
+	return map[string]float64{
+		"cmin/lsa":     cLSA,
+		"cmin/ea-dvfs": cEA,
+		"cmin/ratio":   cLSA / cEA,
+	}, nil
+}
+
+// runRunManyBatch measures the batched grid entry point: one replication's
+// full (capacity × policy) grid through experiment.RunBatch, i.e. the
+// amortized Runner executing every cell on one arena and one solar fork.
+func runRunManyBatch(n int) (map[string]float64, error) {
+	s := spec()
+	factories, err := s.Policies([]string{"lsa", "ea-dvfs"})
+	if err != nil {
+		return nil, err
+	}
+	rep, err := experiment.Replicate(s, 0)
+	if err != nil {
+		return nil, err
+	}
+	rep.PrepareSource(s.Horizon)
+	out := make(map[string]float64, 3)
+	for i := 0; i < n; i++ {
+		grid, err := experiment.RunBatch(nil, s, rep, s.Capacities, factories, false)
+		if err != nil {
+			return nil, err
+		}
+		last := len(s.Capacities) - 1
+		out["missrate/lsa-small"] = grid[0][0].Miss.Rate()
+		out["missrate/ea-small"] = grid[0][1].Miss.Rate()
+		out["missrate/lsa-large"] = grid[last][0].Miss.Rate()
+		out["missrate/ea-large"] = grid[last][1].Miss.Rate()
 	}
 	return out, nil
 }

@@ -143,6 +143,21 @@ func (k *Kernel) recycle(e *Event) {
 	k.free = append(k.free, e)
 }
 
+// Reset returns the kernel to its initial state — clock at 0, step and
+// sequence counters cleared, no queued events — while keeping the recycled
+// free list warm, so a reused kernel (internal/sim's run arenas) schedules
+// its first events without allocating. Still-queued events are recycled;
+// any outstanding *Event handles are invalidated exactly as if their
+// events had fired (the pooling contract in the package comment).
+func (k *Kernel) Reset() {
+	for len(k.queue) > 0 {
+		k.recycle(heap.Pop(&k.queue).(*Event))
+	}
+	k.now = 0
+	k.steps = 0
+	k.nextSeq = 0
+}
+
 // At schedules handler to fire at absolute time t with the given priority.
 // Scheduling in the past (t < Now) panics: it would silently corrupt
 // causality, which in a simulator is always a bug upstream.

@@ -13,6 +13,7 @@ package energy
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"github.com/eadvfs/eadvfs/internal/rng"
 )
@@ -153,6 +154,18 @@ func Envelope(t float64) float64 {
 	return c * c
 }
 
+// solarRealized counts solar unit intervals realized (memoized for the
+// first time in some model) across the process — one tick per unit of
+// trace a model generates rather than inherits from a Fork. Tests use the
+// counter to pin down that sweeps realize each replication's trace once,
+// not once per (capacity, policy) cell; it is diagnostic state, never an
+// input to any computation.
+var solarRealized atomic.Uint64
+
+// SolarRealizations returns the process-wide count of solar trace units
+// realized so far (see solarRealized).
+func SolarRealizations() uint64 { return solarRealized.Load() }
+
 // ensure extends the memoized tables through unit interval k. All three
 // slices are pre-grown with one reservation each (the former one-append-
 // per-element growth was quadratic from a cold start at large t).
@@ -160,6 +173,7 @@ func (s *SolarModel) ensure(k int) {
 	if k < len(s.power) {
 		return
 	}
+	solarRealized.Add(uint64(k + 1 - len(s.power)))
 	if k >= maxSolarSamples {
 		panic(fmt.Sprintf("energy: solar trace would exceed %d units at t=%d — runaway horizon? (see SolarModel retention policy)", maxSolarSamples, k))
 	}

@@ -15,6 +15,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sync"
 	"sync/atomic"
 
 	"github.com/eadvfs/eadvfs/internal/core"
@@ -98,6 +99,23 @@ func Policy(name string) (PolicyFactory, error) {
 	default:
 		return nil, fmt.Errorf("experiment: unknown policy %q", name)
 	}
+}
+
+// Policies resolves a list of policy names via PolicyFor — the plural form
+// callers of RunBatch and NewMinCapacitySearcher need.
+func (s Spec) Policies(names []string) ([]PolicyFactory, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("experiment: no policies requested")
+	}
+	fs := make([]PolicyFactory, len(names))
+	for i, n := range names {
+		f, err := s.PolicyFor(n)
+		if err != nil {
+			return nil, err
+		}
+		fs[i] = f
+	}
+	return fs, nil
 }
 
 // PolicyFor resolves a policy name in the context of a spec; it accepts
@@ -300,6 +318,26 @@ func (r *Replication) Source() *energy.SolarModel {
 	return energy.NewSolarModel(r.SourceSeed)
 }
 
+// AdoptSource shares another replication's memoized solar master when the
+// source seeds match. Sensitivity sweeps that re-derive the task set for a
+// shifted parameter (PMaxSweep, TaskCountSweep) produce replications with
+// the same source seed as the originals; adopting the prepared master lets
+// their runs fork the already-realized trace instead of regenerating
+// ~horizon half-normal draws per cell. A seed mismatch adopts nothing —
+// correctness never depends on adoption (the seed is the trace identity).
+func (r *Replication) AdoptSource(from Replication) {
+	if r.SourceSeed == from.SourceSeed {
+		r.master = from.master
+	}
+}
+
+// solarMeanPower memoizes the generator's harvest-power scale: the eq. (13)
+// mean is closed-form and seed-independent, so deriving thousands of
+// replications should not rebuild a model per call.
+var solarMeanPower = sync.OnceValue(func() float64 {
+	return energy.NewSolarModel(0).MeanPower()
+})
+
 // Replicate derives replication r of the spec.
 func Replicate(s Spec, r int) (Replication, error) {
 	master := rng.New(s.Seed)
@@ -308,7 +346,7 @@ func Replicate(s Spec, r int) (Replication, error) {
 	gcfg := task.GeneratorConfig{
 		NumTasks:         s.NumTasks,
 		Periods:          task.PaperPeriods(),
-		MeanHarvestPower: energy.NewSolarModel(0).MeanPower(),
+		MeanHarvestPower: solarMeanPower(),
 		PMax:             s.Processor().MaxPower(),
 		TargetU:          s.Utilization,
 	}

@@ -285,16 +285,5 @@ func replicateAll(s Spec) ([]Replication, error) {
 }
 
 func policyFactories(s Spec, names []string) ([]PolicyFactory, error) {
-	if len(names) == 0 {
-		return nil, fmt.Errorf("experiment: no policies requested")
-	}
-	fs := make([]PolicyFactory, len(names))
-	for i, n := range names {
-		f, err := s.PolicyFor(n)
-		if err != nil {
-			return nil, err
-		}
-		fs[i] = f
-	}
-	return fs, nil
+	return s.Policies(names)
 }

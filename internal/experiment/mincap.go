@@ -24,6 +24,16 @@ type MinCapacityResult struct {
 	Skipped int
 }
 
+// Default Table 1 search bounds: start at MinCapLo, grow geometrically to
+// at most MinCapMaxHi (far above any workload's need), bisect to absolute
+// resolution MinCapTol. Exported so benchmarks and tests probe exactly the
+// search MinCapacity runs.
+const (
+	MinCapLo    = 1.0
+	MinCapMaxHi = 1 << 20
+	MinCapTol   = 1.0
+)
+
 // MinCapacitySearch finds, by bisection, the smallest storage capacity in
 // [lo, hi] for which the given policy finishes every job of the
 // replication on time ("the threshold capacity to maintain zero deadline
@@ -82,6 +92,105 @@ func MinCapacitySearch(s Spec, rep Replication, pf PolicyFactory, lo, maxHi, tol
 	return hi, true, nil
 }
 
+// MinCapacitySearcher is the warm-start form of MinCapacitySearch: one
+// amortized Runner (shared solar fork, processor, predictor resolution and
+// sim arena) serves every probe of every search over the same (spec,
+// replication) pair, each infeasible probe exits at its first deadline
+// miss instead of simulating to the horizon, and probe outcomes are
+// memoized per (policy, capacity) so repeated searches never re-simulate a
+// decided capacity.
+//
+// Warm search returns exactly what the cold search returns. The argument
+// (DESIGN.md §14): the probe sequence — geometric growth doubling from lo,
+// then bisection on [hi/2, hi] — is fully determined by each probe's
+// zero-miss classification, and every mechanism above preserves that
+// classification: the early exit stops only after a miss is tallied
+// (Missed > 0 iff the full run misses), the memo replays recorded
+// classifications, and arena/fork reuse reproduces each run bit for bit
+// (pinned by the internal/verify differential). No probe is ever skipped
+// on monotonicity grounds, because misses are not perfectly monotone in
+// capacity: confirming the envelope's smallest zero-miss point requires
+// observing every dyadic predecessor miss, and the searcher does.
+type MinCapacitySearcher struct {
+	runner *Runner
+	pfs    []PolicyFactory
+	memo   map[probeKey]bool // capacity → had at least one miss
+}
+
+type probeKey struct {
+	policy   int
+	capacity float64
+}
+
+// NewMinCapacitySearcher prepares a warm searcher for one replication.
+// pfs are the policy factories the searches select among by index.
+func NewMinCapacitySearcher(s Spec, rep Replication, pfs []PolicyFactory) (*MinCapacitySearcher, error) {
+	r, err := NewRunner(s, rep)
+	if err != nil {
+		return nil, err
+	}
+	return &MinCapacitySearcher{runner: r, pfs: pfs, memo: make(map[probeKey]bool)}, nil
+}
+
+// Search runs the warm-start capacity search for policy index pi with the
+// same bounds semantics as MinCapacitySearch, returning the identical
+// capacity.
+func (m *MinCapacitySearcher) Search(pi int, lo, maxHi, tol float64) (float64, bool, error) {
+	if lo <= 0 || maxHi <= lo || tol <= 0 {
+		return 0, false, fmt.Errorf("experiment: bad search bounds [%v, %v] tol %v", lo, maxHi, tol)
+	}
+	if pi < 0 || pi >= len(m.pfs) {
+		return 0, false, fmt.Errorf("experiment: policy index %d outside [0, %d)", pi, len(m.pfs))
+	}
+	missed := func(c float64) (bool, error) {
+		key := probeKey{policy: pi, capacity: c}
+		if v, ok := m.memo[key]; ok {
+			return v, nil
+		}
+		res, err := m.runner.RunCtx(nil, c, m.pfs[pi], false, true)
+		if err != nil {
+			return false, err
+		}
+		v := res.Miss.Missed > 0
+		m.memo[key] = v
+		return v, nil
+	}
+	hi := lo
+	for {
+		m, err := missed(hi)
+		if err != nil {
+			return 0, false, err
+		}
+		if !m {
+			break
+		}
+		if hi >= maxHi {
+			return 0, false, nil
+		}
+		hi = math.Min(hi*2, maxHi)
+	}
+	if hi == lo {
+		return lo, true, nil
+	}
+	loBound := hi / 2 // last known miss (or lo)
+	if loBound < lo {
+		loBound = lo
+	}
+	for hi-loBound > tol {
+		mid := (loBound + hi) / 2
+		miss, err := missed(mid)
+		if err != nil {
+			return 0, false, err
+		}
+		if !miss {
+			hi = mid
+		} else {
+			loBound = mid
+		}
+	}
+	return hi, true, nil
+}
+
 // MinCapacity regenerates Table 1: for each utilization, the ratio of the
 // minimum zero-miss capacities of the first policy to the second
 // (paper: LSA over EA-DVFS), averaged over replications.
@@ -103,9 +212,9 @@ func MinCapacity(s Spec, utils []float64, policyNames []string) (*MinCapacityRes
 		RatioErr:     make([]float64, len(utils)),
 	}
 	const (
-		lo    = 1.0
-		maxHi = 1 << 20 // far above any workload's need; growth is geometric
-		tol   = 1.0
+		lo    = MinCapLo
+		maxHi = MinCapMaxHi
+		tol   = MinCapTol
 	)
 	for ui, u := range utils {
 		spec := s
@@ -128,11 +237,19 @@ func MinCapacity(s Spec, utils []float64, policyNames []string) (*MinCapacityRes
 			rep.PrepareSource(spec.Horizon) // shared across the capacity search runs
 			r, rep := r, rep
 			jobs = append(jobs, job{slot: r, run: func() error {
-				ca, okA, err := MinCapacitySearch(spec, rep, factories[0], lo, maxHi, tol)
+				// Warm-start searcher: one arena, one solar fork and one
+				// probe memo per replication job, first-miss early exit on
+				// every infeasible probe. Returns exactly the cold
+				// MinCapacitySearch capacities (see MinCapacitySearcher).
+				search, err := NewMinCapacitySearcher(spec, rep, factories)
 				if err != nil {
 					return err
 				}
-				cb, okB, err := MinCapacitySearch(spec, rep, factories[1], lo, maxHi, tol)
+				ca, okA, err := search.Search(0, lo, maxHi, tol)
+				if err != nil {
+					return err
+				}
+				cb, okB, err := search.Search(1, lo, maxHi, tol)
 				if err != nil {
 					return err
 				}

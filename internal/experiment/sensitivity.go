@@ -131,11 +131,15 @@ func PMaxSweep(s Spec, pmaxes []float64, policyNames []string) (*SensitivityResu
 			}
 			sp := s
 			sp.PMax = point
-			// Re-derive the workload: WCETs depend on PMax (§5.1).
+			// Re-derive the workload: WCETs depend on PMax (§5.1). The
+			// source seed does not, so adopt the original replication's
+			// prepared solar master instead of re-realizing the trace
+			// once per (point, policy) cell.
 			rep2, err := Replicate(sp, repIndexOf(rep))
 			if err != nil {
 				return nil, err
 			}
+			rep2.AdoptSource(rep)
 			return runWith(sp, rep2, defaultSweepCapacity, pf, sp.Processor(), sp.Predictor)
 		})
 }
@@ -156,6 +160,8 @@ func TaskCountSweep(s Spec, counts []float64, policyNames []string) (*Sensitivit
 			if err != nil {
 				return nil, err
 			}
+			// Same source seed as rep — share its realized trace.
+			rep2.AdoptSource(rep)
 			return runWith(sp, rep2, defaultSweepCapacity, pf, sp.Processor(), sp.Predictor)
 		})
 }

@@ -15,7 +15,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
 
 	"github.com/eadvfs/eadvfs/internal/cpu"
 	"github.com/eadvfs/eadvfs/internal/des"
@@ -102,6 +101,16 @@ type Config struct {
 	// misses its deadline instead of dropping it (the default drops, which
 	// is what makes the paper's per-job miss rate well-defined).
 	ContinueAfterDeadline bool
+
+	// StopAtFirstMiss ends the run immediately after the first deadline
+	// miss is tallied, finalizing all accounting at the miss instant
+	// instead of the horizon. The Result is then a valid prefix of the
+	// full run — in particular Miss.Missed > 0 if and only if the full
+	// run would have missed at least one deadline, which is the only
+	// question a zero-miss feasibility probe (capacity bisection,
+	// experiment.MinCapacitySearch) asks. A run with no misses is
+	// unaffected, bit for bit.
+	StopAtFirstMiss bool
 
 	// BCWCRatio is the best-case/worst-case execution-time ratio of the
 	// slack-reclamation extension: each job's actual work is drawn
@@ -275,6 +284,7 @@ type engine struct {
 
 	simNow     float64 // time of the last dispatched event
 	dispatched uint64  // events fired across all streams (Result.Events)
+	stopped    bool    // StopAtFirstMiss tripped; drain and finalize at simNow
 
 	deadlineFn des.ArgHandler // shared handler for all deadline events
 	ctx        sched.Context  // rebuilt in place per decision (sched contract)
@@ -293,115 +303,27 @@ type engine struct {
 // returns BOTH the (suspect) Result and a *InvariantError, so callers can
 // diagnose the drift; a watchdog abort (Config.MaxEvents) returns a
 // *EventBudgetError with a nil Result.
+//
+// Runs execute on pooled arenas (see Arena): the DES kernel, ready queue,
+// per-task table and release-schedule template are reused across runs, so
+// steady-state simulation allocates only the Result and the caller's
+// stateful components. Callers batching many related runs can hold an
+// explicit arena (NewArena, RunMany) for release-plan reuse across the
+// whole batch.
 func Run(cfg *Config) (*Result, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-
-	// Materialize the per-run fault set and interpose its wrappers on a
-	// shallow copy, leaving the caller's Config untouched. A disabled (or
-	// nil) fault spec yields a nil set: every path below degrades to the
-	// exact fault-free behaviour, bit for bit.
-	var faults *fault.Set
-	if cfg.Faults != nil {
-		var err error
-		if faults, err = fault.New(*cfg.Faults); err != nil {
-			return nil, err
-		}
-		if faults != nil {
-			runCfg := *cfg
-			runCfg.Source = faults.WrapSource(cfg.Source)
-			runCfg.Store = faults.WrapStore(cfg.Store)
-			runCfg.Predictor = faults.WrapPredictor(cfg.Predictor)
-			cfg = &runCfg
-		}
-	}
-
-	e := &engine{
-		cfg:       cfg,
-		kernel:    des.NewKernel(),
-		queue:     task.NewReadyQueue(),
-		lastRunLv: -1,
-		tasks:     newTaskTable(),
-		faults:    faults,
-		res: &Result{
-			Policy:    cfg.Policy.Name(),
-			LevelTime: make([]float64, cfg.CPU.Levels()),
-		},
-	}
-	if cfg.CheckInvariants {
-		e.inv = &invariantChecker{probe: cfg.Probe}
-	}
-	e.initialLevel = cfg.Store.Level()
-	if cfg.BCWCRatio > 0 && cfg.BCWCRatio < 1 {
-		seed := cfg.ExecSeed
-		if seed == 0 {
-			seed = 1
-		}
-		e.execRNG = rng.New(seed)
-	}
-
-	if cfg.RecordEnergy {
-		n := int(math.Floor(cfg.Horizon)) + 1
-		e.res.EnergySeries = metrics.NewSeries(0, 1, n)
-		e.res.EnergySeries.Values[0] = cfg.Store.Level()
-	}
-
-	// Job releases: the periodic tasks' instances plus any explicit jobs.
-	// ReleaseJobs is already sorted; the stable re-sort folds the appended
-	// explicit jobs in while keeping the original tie order at equal
-	// arrival instants (which is the former kernel-heap insertion order).
-	release := task.ReleaseJobs(cfg.Tasks, cfg.Horizon)
-	for _, j := range cfg.Jobs {
-		if j.Arrival < cfg.Horizon {
-			release = append(release, j)
-		}
-	}
-	sort.SliceStable(release, func(a, b int) bool { return release[a].Arrival < release[b].Arrival })
-	e.release = release
-
-	// Unit-boundary chain: predictor observation + energy sampling.
-	e.nextBoundary = math.Inf(1)
-	if cfg.Horizon >= 1 {
-		e.nextBoundary = 1
-	}
-	e.segTime = math.Inf(1)
-	e.deadlineFn = e.onDeadlineArg
-
-	e.requestDecide(0)
-	if err := e.dispatch(); err != nil {
-		return nil, err
-	}
-	e.syncTo(cfg.Horizon)
-	e.closeSegment(cfg.Horizon)
-
-	e.faults.FinishAt(cfg.Horizon)
-	e.res.Degradation = e.faults.Counters()
-	e.res.PerTask = e.tasks.table()
-	e.res.Meters = cfg.Store.Meters()
-	e.res.FinalLevel = cfg.Store.Level()
-	e.res.Events = e.dispatched
-	e.res.ConservationErr = cfg.Store.ConservationError(e.initialLevel)
-	if err := e.res.Miss.Check(); err != nil {
-		if e.inv == nil {
-			return nil, err
-		}
-		e.inv.record("miss-stats", cfg.Horizon, "%v", err)
-	}
-	if e.inv != nil {
-		e.inv.checkConservation(cfg.Horizon, e.res.ConservationErr, e.initialLevel+e.res.Meters.Stored)
-		if err := e.inv.err(); err != nil {
-			return e.res, err
-		}
-	}
-	return e.res, nil
+	a := arenaPool.Get().(*Arena)
+	res, err := a.Run(cfg)
+	// Deliberately not deferred: if Run panics (an engine bug), the arena
+	// is dropped rather than returned to the pool half-mutated.
+	arenaPool.Put(a)
+	return res, err
 }
 
 // dispatch merges the virtual event streams with the kernel heap and runs
 // the earliest (time, priority) pair until the horizon, enforcing the
 // optional event budget (Config.MaxEvents).
 func (e *engine) dispatch() error {
-	for {
+	for !e.stopped {
 		t, prio, ok := e.peekNext()
 		if !ok || t > e.cfg.Horizon {
 			return nil
@@ -445,6 +367,7 @@ func (e *engine) dispatch() error {
 			e.onDecide(t)
 		}
 	}
+	return nil
 }
 
 // peekNext returns the earliest pending (time, priority) across the kernel
@@ -673,6 +596,11 @@ func (e *engine) onDeadline(now float64, j *task.Job) {
 	e.res.Miss.Missed++
 	e.tasks.missed(j)
 	e.emit(now, "miss", j)
+	if e.cfg.StopAtFirstMiss {
+		// The zero-miss predicate is now decided; dispatch() drains after
+		// this handler returns and the run finalizes at simNow.
+		e.stopped = true
+	}
 	if !e.cfg.ContinueAfterDeadline {
 		e.queue.Remove(j)
 		if e.running == j {

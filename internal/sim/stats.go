@@ -57,6 +57,11 @@ func newTaskTable() *taskTable {
 	return &taskTable{byID: make(map[int]*TaskStats)}
 }
 
+// reset empties the table for arena reuse. The *TaskStats values are NOT
+// recycled: table() hands them to Result.PerTask, where callers retain
+// them past the run, so each run must mint fresh ones.
+func (tt *taskTable) reset() { clear(tt.byID) }
+
 func (tt *taskTable) get(id int) *TaskStats {
 	s, ok := tt.byID[id]
 	if !ok {

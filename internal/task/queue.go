@@ -44,6 +44,19 @@ func NewReadyQueue() *ReadyQueue { return &ReadyQueue{} }
 // Len returns the number of queued jobs.
 func (q *ReadyQueue) Len() int { return len(q.h) }
 
+// Reset empties the queue in O(n) without heap sifting, restoring every
+// queued job's not-queued marker and dropping the job references so a
+// pooled queue (internal/sim's run arenas) does not pin a finished run's
+// jobs. The backing array is retained, so steady-state reuse never
+// reallocates.
+func (q *ReadyQueue) Reset() {
+	for i, j := range q.h {
+		j.heapIndex = -1
+		q.h[i] = nil
+	}
+	q.h = q.h[:0]
+}
+
 // Push adds a released job.
 func (q *ReadyQueue) Push(j *Job) {
 	if j == nil {
