@@ -11,7 +11,8 @@
 //	      [-replications N] [-seed 1] [-horizon 10000]
 //	      [-shards-per-worker 2] [-max-attempts 4] [-timeout 120s]
 //	      [-hedge-after 2s] [-allow-partial] [-o out.json]
-//	      [-metrics-out metrics.prom] [-verbose] [-version]
+//	      [-metrics-out metrics.prom] [-trace-out trace.jsonl]
+//	      [-verbose] [-version]
 //
 // With -local the sweep runs in-process instead of on a fleet and writes
 // the identical bytes — the single-node reference a distributed run can
@@ -67,6 +68,7 @@ func main() {
 
 		out        = flag.String("o", "", "write the result JSON here (default stdout)")
 		metricsOut = flag.String("metrics-out", "", "write fabric metrics (Prometheus text) here")
+		traceOut   = flag.String("trace-out", "", "write the sweep's spans (schema v1.1 JSONL) here")
 		verbose    = flag.Bool("verbose", false, "log retries, hedges and breaker events to stderr")
 		version    = flag.Bool("version", false, "print build information and exit")
 	)
@@ -107,6 +109,7 @@ func main() {
 		allowPartial:    *allowPartial,
 		verbose:         *verbose,
 		metricsOut:      *metricsOut,
+		traceOut:        *traceOut,
 	})
 	if err != nil {
 		fatal(err)
@@ -124,6 +127,7 @@ type fleetConfig struct {
 	allowPartial    bool
 	verbose         bool
 	metricsOut      string
+	traceOut        string
 }
 
 // runSweep produces the result JSON (with trailing newline) either
@@ -133,6 +137,17 @@ type fleetConfig struct {
 func runSweep(ctx context.Context, local bool, workersFlag, kind string, spec experiment.Spec, policies []string, fc fleetConfig) ([]byte, error) {
 	var aggregate any
 	if local {
+		// A local run still gets a root span when tracing is requested —
+		// a one-node tree, but the same JSONL format as a fleet trace.
+		var recorder *obs.Recorder
+		var root *obs.ActiveSpan
+		if fc.traceOut != "" {
+			recorder = obs.NewRecorder()
+			root = obs.StartSpan(recorder, "eactl", "sweep", obs.SpanContext{})
+			root.SetAttr("kind", kind)
+			root.SetAttr("mode", "local")
+			spec.Spans = parentedSink{sink: recorder, parent: root.Context()}
+		}
 		var err error
 		switch kind {
 		case "missrate":
@@ -142,14 +157,24 @@ func runSweep(ctx context.Context, local bool, workersFlag, kind string, spec ex
 		default:
 			err = fmt.Errorf("unknown sweep kind %q", kind)
 		}
+		root.End()
 		if err != nil {
 			return nil, err
+		}
+		if fc.traceOut != "" {
+			if terr := writeTraceJSONL(fc.traceOut, recorder.Spans()); terr != nil {
+				return nil, terr
+			}
 		}
 	} else {
 		workers := splitList(workersFlag)
 		if len(workers) == 0 {
 			return nil, fmt.Errorf("-workers is required (or use -local)")
 		}
+		// Tracing is always on for fleet runs: the recorder is cheap
+		// relative to network sweeps, and the stitched tree is the only
+		// way to see where a slow sweep actually spent its time.
+		recorder := obs.NewRecorder()
 		opts := fabric.Options{
 			Workers:         workers,
 			ShardsPerWorker: fc.shardsPerWorker,
@@ -158,6 +183,7 @@ func runSweep(ctx context.Context, local bool, workersFlag, kind string, spec ex
 			HedgeAfter:      fc.hedgeAfter,
 			AllowPartial:    fc.allowPartial,
 			Registry:        obs.NewRegistry(),
+			Trace:           recorder,
 		}
 		if fc.verbose {
 			opts.Logf = func(format string, args ...any) {
@@ -178,6 +204,12 @@ func runSweep(ctx context.Context, local bool, workersFlag, kind string, spec ex
 			return nil, err
 		}
 		printSummary(os.Stderr, res)
+		printTraceSummary(os.Stderr, recorder.Spans())
+		if fc.traceOut != "" {
+			if terr := writeTraceJSONL(fc.traceOut, recorder.Spans()); terr != nil {
+				return nil, terr
+			}
+		}
 		switch kind {
 		case "missrate":
 			aggregate = res.Merged.MissRate
@@ -191,6 +223,16 @@ func runSweep(ctx context.Context, local bool, workersFlag, kind string, spec ex
 	}
 	return append(raw, '\n'), nil
 }
+
+// parentedSink forwards spans to a sink while advertising a fixed parent
+// context, so experiment phase spans nest under the local root span.
+type parentedSink struct {
+	sink   obs.SpanSink
+	parent obs.SpanContext
+}
+
+func (p parentedSink) OnSpan(sp obs.Span)           { p.sink.OnSpan(sp) }
+func (p parentedSink) TraceParent() obs.SpanContext { return p.parent }
 
 // printSummary writes the fleet-health accounting to w.
 func printSummary(w io.Writer, res *fabric.SweepResult) {

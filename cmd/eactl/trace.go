@@ -1,0 +1,169 @@
+package main
+
+// Trace stitching and the per-shard latency breakdown (DESIGN.md §15).
+// The coordinator records its own sweep/shard/attempt spans plus the
+// worker spans shipped back in X-Trace-Spans headers; this file turns
+// that flat span list into one tree and a table answering "where did
+// this sweep's time go" — queue wait, engine compute, retry burn and
+// hedge waste, per shard.
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"text/tabwriter"
+	"time"
+
+	"github.com/eadvfs/eadvfs/internal/obs"
+)
+
+// shardRow is one shard's latency accounting, read off its span subtree.
+type shardRow struct {
+	Index    int
+	Worker   string        // serving worker (from the shard span)
+	Attempts int           // attempt spans under the shard
+	Wins     int           // attempts with outcome=ok (exactly 1 when complete)
+	Queue    time.Duration // winning attempt's worker-side admission wait
+	Compute  time.Duration // winning attempt's worker-side engine time
+	Retry    time.Duration // total time burned in failed attempts
+	Hedge    time.Duration // total time of hedge attempts that lost
+}
+
+// traceReport stitches the recorded spans and derives the per-shard
+// breakdown. complete is the CI-checkable tree property: at least one
+// sweep root exists, every shard span holds exactly one winning attempt,
+// and the root's duration covers every child's.
+func traceReport(spans []obs.Span) (tree *obs.SpanTree, rows []shardRow, complete bool) {
+	tree = obs.StitchSpans(spans)
+	complete = true
+	roots := 0
+	tree.Walk(func(n *obs.SpanNode, depth int) {
+		if n.Span.Service != "eactl" || n.Span.Name != "sweep" {
+			return
+		}
+		roots++
+		if n.Orphan {
+			complete = false
+		}
+		for _, c := range n.Children {
+			if c.Span.End().Sub(n.Span.Start) > n.Span.Duration+n.Skew {
+				// A child outlasting its root means spans are missing or
+				// clocks are lying beyond the stitcher's skew allowance.
+				complete = false
+			}
+			if c.Span.Name != "shard" {
+				continue
+			}
+			row := shardRowOf(c)
+			if row.Wins != 1 {
+				complete = false
+			}
+			rows = append(rows, row)
+		}
+	})
+	if roots == 0 {
+		complete = false
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Index < rows[j].Index })
+	return tree, rows, complete
+}
+
+// shardRowOf folds one shard span's subtree into its latency row.
+func shardRowOf(n *obs.SpanNode) shardRow {
+	row := shardRow{Index: -1, Worker: n.Span.Attrs["worker"]}
+	if v, err := strconv.Atoi(n.Span.Attrs["shard"]); err == nil {
+		row.Index = v
+	}
+	for _, a := range n.Children {
+		if a.Span.Name != "attempt" {
+			continue
+		}
+		row.Attempts++
+		switch a.Span.Attrs["outcome"] {
+		case "ok":
+			row.Wins++
+			row.Queue += durationOfDescendant(a, "admission")
+			row.Compute += durationOfDescendant(a, "engine")
+		default:
+			// A failed or cancelled attempt burned its whole duration;
+			// hedge losers are waste hedging chose to risk, retries are
+			// waste the fleet imposed.
+			if a.Span.Attrs["hedge"] == "true" {
+				row.Hedge += a.Span.Duration
+			} else {
+				row.Retry += a.Span.Duration
+			}
+		}
+	}
+	return row
+}
+
+// durationOfDescendant sums the durations of every span named name in
+// n's subtree (the worker request span nests between the attempt and
+// its admission/engine children).
+func durationOfDescendant(n *obs.SpanNode, name string) time.Duration {
+	var total time.Duration
+	var rec func(*obs.SpanNode)
+	rec = func(m *obs.SpanNode) {
+		for _, c := range m.Children {
+			if c.Span.Name == name {
+				total += c.Span.Duration
+			}
+			rec(c)
+		}
+	}
+	rec(n)
+	return total
+}
+
+// printTraceSummary appends the trace accounting to the fleet summary:
+// one status line (span count, completeness) and the per-shard breakdown
+// table.
+func printTraceSummary(w io.Writer, spans []obs.Span) {
+	tree, rows, complete := traceReport(spans)
+	status := "complete"
+	if !complete {
+		status = "INCOMPLETE"
+	}
+	trace := ""
+	if len(spans) > 0 {
+		trace = spans[0].Trace.String()
+	}
+	fmt.Fprintf(w, "eactl: trace %s: %d spans, %d orphaned, tree %s\n",
+		trace, tree.Spans, tree.Orphans, status)
+	if len(rows) == 0 {
+		return
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "eactl: shard\tworker\tattempts\tqueue\tcompute\tretry\thedge-wasted")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "eactl: %d\t%s\t%d\t%s\t%s\t%s\t%s\n",
+			r.Index, r.Worker, r.Attempts,
+			fmtDur(r.Queue), fmtDur(r.Compute), fmtDur(r.Retry), fmtDur(r.Hedge))
+	}
+	tw.Flush()
+}
+
+func fmtDur(d time.Duration) string {
+	return d.Round(10 * time.Microsecond).String()
+}
+
+// writeTraceJSONL writes every span as a schema-v1.1 JSONL line, the
+// same format obs.CheckJSONL validates.
+func writeTraceJSONL(path string, spans []obs.Span) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	jw := obs.NewJSONLWriter(f)
+	for _, sp := range spans {
+		jw.OnSpan(sp)
+	}
+	err = jw.Flush()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

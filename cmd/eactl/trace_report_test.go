@@ -1,0 +1,141 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/eadvfs/eadvfs/internal/obs"
+)
+
+// span is a test-local builder around obs.Span.
+func span(trace obs.TraceID, parent obs.SpanID, service, name string, start time.Time, d time.Duration, attrs map[string]string) obs.Span {
+	return obs.Span{
+		Trace: trace, ID: obs.NewSpanID(), Parent: parent,
+		Service: service, Name: name, Start: start, Duration: d, Attrs: attrs,
+	}
+}
+
+// A full fleet trace — retries, a hedged loser, worker-side sub-spans —
+// must fold into one row per shard with the right latency attribution,
+// and be judged complete.
+func TestTraceReportBreakdown(t *testing.T) {
+	trace := obs.NewTraceID()
+	base := time.Unix(5000, 0)
+	root := span(trace, obs.SpanID{}, "eactl", "sweep", base, 10*time.Second, nil)
+
+	// Shard 0: one failed attempt (300ms), then a winner whose worker
+	// reports 40ms admission and 2s engine.
+	sh0 := span(trace, root.ID, "eactl", "shard", base, 4*time.Second,
+		map[string]string{"shard": "0", "worker": "http://w0"})
+	fail0 := span(trace, sh0.ID, "eactl", "attempt", base, 300*time.Millisecond,
+		map[string]string{"outcome": "error", "hedge": "false"})
+	win0 := span(trace, sh0.ID, "eactl", "attempt", base.Add(time.Second), 3*time.Second,
+		map[string]string{"outcome": "ok", "hedge": "false"})
+	req0 := span(trace, win0.ID, "easerve", "request:sweep", base.Add(time.Second), 2500*time.Millisecond, nil)
+	adm0 := span(trace, req0.ID, "easerve", "admission", base.Add(time.Second), 40*time.Millisecond, nil)
+	eng0 := span(trace, req0.ID, "easerve", "engine", base.Add(1100*time.Millisecond), 2*time.Second, nil)
+
+	// Shard 1: winner plus a hedged loser cancelled after 500ms.
+	sh1 := span(trace, root.ID, "eactl", "shard", base, 3*time.Second,
+		map[string]string{"shard": "1", "worker": "http://w1"})
+	win1 := span(trace, sh1.ID, "eactl", "attempt", base, 2*time.Second,
+		map[string]string{"outcome": "ok", "hedge": "false"})
+	loser1 := span(trace, sh1.ID, "eactl", "attempt", base.Add(time.Second), 500*time.Millisecond,
+		map[string]string{"outcome": "cancelled", "hedge": "true"})
+
+	spans := []obs.Span{eng0, adm0, req0, win0, fail0, sh0, loser1, win1, sh1, root}
+	_, rows, complete := traceReport(spans)
+	if !complete {
+		t.Fatal("well-formed trace judged incomplete")
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(rows))
+	}
+	r0 := rows[0]
+	if r0.Index != 0 || r0.Worker != "http://w0" || r0.Attempts != 2 {
+		t.Fatalf("row 0 identity: %+v", r0)
+	}
+	if r0.Queue != 40*time.Millisecond || r0.Compute != 2*time.Second {
+		t.Fatalf("row 0 queue/compute: %s / %s", r0.Queue, r0.Compute)
+	}
+	if r0.Retry != 300*time.Millisecond || r0.Hedge != 0 {
+		t.Fatalf("row 0 retry/hedge: %s / %s", r0.Retry, r0.Hedge)
+	}
+	r1 := rows[1]
+	if r1.Hedge != 500*time.Millisecond || r1.Retry != 0 {
+		t.Fatalf("row 1 hedge/retry: %s / %s", r1.Hedge, r1.Retry)
+	}
+}
+
+// Completeness must fail when a shard has no winning attempt, when the
+// root is missing entirely, and when a child outlasts its root.
+func TestTraceReportIncomplete(t *testing.T) {
+	trace := obs.NewTraceID()
+	base := time.Unix(5000, 0)
+
+	t.Run("no winning attempt", func(t *testing.T) {
+		root := span(trace, obs.SpanID{}, "eactl", "sweep", base, 5*time.Second, nil)
+		sh := span(trace, root.ID, "eactl", "shard", base, 4*time.Second,
+			map[string]string{"shard": "0"})
+		fail := span(trace, sh.ID, "eactl", "attempt", base, time.Second,
+			map[string]string{"outcome": "error"})
+		_, rows, complete := traceReport([]obs.Span{root, sh, fail})
+		if complete {
+			t.Fatal("shard without a winner judged complete")
+		}
+		if len(rows) != 1 || rows[0].Wins != 0 {
+			t.Fatalf("rows: %+v", rows)
+		}
+	})
+
+	t.Run("missing root", func(t *testing.T) {
+		lost := obs.NewSpanID()
+		sh := span(trace, lost, "eactl", "shard", base, time.Second,
+			map[string]string{"shard": "0"})
+		if _, _, complete := traceReport([]obs.Span{sh}); complete {
+			t.Fatal("rootless trace judged complete")
+		}
+	})
+
+	t.Run("child outlasts root", func(t *testing.T) {
+		root := span(trace, obs.SpanID{}, "eactl", "sweep", base, time.Second, nil)
+		sh := span(trace, root.ID, "eactl", "shard", base, 5*time.Second,
+			map[string]string{"shard": "0"})
+		win := span(trace, sh.ID, "eactl", "attempt", base, time.Second,
+			map[string]string{"outcome": "ok"})
+		if _, _, complete := traceReport([]obs.Span{root, sh, win}); complete {
+			t.Fatal("child outlasting root judged complete")
+		}
+	})
+
+	t.Run("empty input", func(t *testing.T) {
+		if _, _, complete := traceReport(nil); complete {
+			t.Fatal("empty trace judged complete")
+		}
+	})
+}
+
+// The printed summary must carry the status line (greppable by CI) and
+// one table row per shard.
+func TestPrintTraceSummary(t *testing.T) {
+	trace := obs.NewTraceID()
+	base := time.Unix(5000, 0)
+	root := span(trace, obs.SpanID{}, "eactl", "sweep", base, 5*time.Second, nil)
+	sh := span(trace, root.ID, "eactl", "shard", base, 4*time.Second,
+		map[string]string{"shard": "0", "worker": "http://w0"})
+	win := span(trace, sh.ID, "eactl", "attempt", base, time.Second,
+		map[string]string{"outcome": "ok"})
+	var out strings.Builder
+	printTraceSummary(&out, []obs.Span{root, sh, win})
+	text := out.String()
+	if !strings.Contains(text, "tree complete") {
+		t.Fatalf("summary missing completeness status:\n%s", text)
+	}
+	if !strings.Contains(text, trace.String()) {
+		t.Fatalf("summary missing trace id:\n%s", text)
+	}
+	if !strings.Contains(text, "hedge-wasted") || !strings.Contains(text, "http://w0") {
+		t.Fatalf("summary missing table:\n%s", text)
+	}
+}

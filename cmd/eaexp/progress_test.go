@@ -1,0 +1,98 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// steady progress at one run per second must converge on an exact ETA.
+func TestETASteadyRate(t *testing.T) {
+	var tr etaTracker
+	base := time.Unix(0, 0)
+	var got string
+	for done := 1; done <= 5; done++ {
+		got = tr.update(done, 10, base.Add(time.Duration(done)*time.Second))
+	}
+	if got != "5s" {
+		t.Fatalf("steady 1 run/s at 5/10: eta %q, want 5s", got)
+	}
+}
+
+// Before any throughput is observable the tracker must admit ignorance,
+// and at completion it must say so.
+func TestETABoundaries(t *testing.T) {
+	var tr etaTracker
+	base := time.Unix(0, 0)
+	if got := tr.update(1, 10, base); got != "--" {
+		t.Fatalf("first observation: eta %q, want --", got)
+	}
+	if got := tr.update(10, 10, base.Add(9*time.Second)); got != "done" {
+		t.Fatalf("completion: eta %q, want done", got)
+	}
+}
+
+// A single straggler observation must move the ETA only fractionally:
+// that is the EWMA's job. After 1 run/s for a while, one 10x-slower run
+// must not multiply the ETA by 10.
+func TestETASmoothsStragglers(t *testing.T) {
+	tr := etaTracker{alpha: 0.2}
+	base := time.Unix(0, 0)
+	now := base
+	for done := 1; done <= 5; done++ {
+		now = base.Add(time.Duration(done) * time.Second)
+		tr.update(done, 100, now)
+	}
+	rateBefore := tr.rate
+	now = now.Add(10 * time.Second) // one run took 10s instead of 1s
+	tr.update(6, 100, now)
+	// EWMA: 0.2*0.1 + 0.8*1.0 = 0.82 runs/s, not 0.1.
+	if tr.rate < 0.7*rateBefore {
+		t.Fatalf("one straggler collapsed rate %.3f -> %.3f; EWMA not smoothing", rateBefore, tr.rate)
+	}
+	if tr.rate >= rateBefore {
+		t.Fatalf("straggler did not lower rate at all: %.3f -> %.3f", rateBefore, tr.rate)
+	}
+}
+
+// A batch restart (done counter going backwards) must reset the counter
+// baseline without forgetting the learned throughput.
+func TestETABatchRestartKeepsRate(t *testing.T) {
+	var tr etaTracker
+	base := time.Unix(0, 0)
+	for done := 1; done <= 4; done++ {
+		tr.update(done, 4, base.Add(time.Duration(done)*time.Second))
+	}
+	learned := tr.rate
+	if learned <= 0 {
+		t.Fatal("no rate learned in first batch")
+	}
+	// New batch: done drops back to 1.
+	got := tr.update(1, 8, base.Add(10*time.Second))
+	if tr.rate != learned {
+		t.Fatalf("restart clobbered the smoothed rate: %.3f -> %.3f", learned, tr.rate)
+	}
+	if got == "--" {
+		t.Fatalf("restart forgot throughput entirely: eta %q", got)
+	}
+}
+
+// The estimate must be driven by clock differences only: feeding the
+// same wall time twice (a stalled or stepped clock) must not produce a
+// negative or exploding ETA, and time must never run backwards through
+// the arithmetic.
+func TestETAMonotonicArithmetic(t *testing.T) {
+	var tr etaTracker
+	base := time.Unix(1e9, 0)
+	tr.update(1, 10, base)
+	tr.update(2, 10, base.Add(time.Second))
+	got := tr.update(3, 10, base.Add(time.Second)) // dt == 0: observation dropped
+	if strings.HasPrefix(got, "-") {
+		t.Fatalf("zero-dt observation produced negative eta %q", got)
+	}
+	// A later healthy observation still updates normally.
+	got = tr.update(4, 10, base.Add(3*time.Second))
+	if got == "--" || strings.HasPrefix(got, "-") {
+		t.Fatalf("tracker wedged after zero-dt observation: eta %q", got)
+	}
+}

@@ -9,7 +9,8 @@
 //
 //	easerve [-addr :8080] [-workers N] [-queue 64] [-cache 4096]
 //	        [-cache-bytes 67108864] [-max-body 1048576] [-timeout 120s]
-//	        [-retry-after 1s] [-drain-timeout 30s] [-version]
+//	        [-retry-after 1s] [-drain-timeout 30s]
+//	        [-flight-spans 256] [-flight-decisions 256] [-version]
 //
 // Endpoints:
 //
@@ -19,7 +20,14 @@
 //	                   "spec":{...},"policies":[...]}
 //	GET  /metrics      Prometheus text exposition
 //	GET  /healthz      200 ok, 503 while draining
+//	GET  /debug/flight flight recorder: recent spans + decision audits
 //	GET  /version      build identity JSON
+//
+// Requests carrying a W3C traceparent header are traced: the worker's
+// admission/cache/engine spans return in the X-Trace-Spans response
+// header (the body stays byte-identical) and land in the flight
+// recorder. SIGQUIT dumps the flight recorder to stderr as JSON and
+// keeps serving.
 //
 // Example:
 //
@@ -30,6 +38,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -54,6 +63,8 @@ func main() {
 		timeout      = flag.Duration("timeout", 120*time.Second, "per-request compute budget")
 		retryAfter   = flag.Duration("retry-after", time.Second, "Retry-After hint on 429/503 responses")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight work on SIGTERM")
+		flightSpans  = flag.Int("flight-spans", 0, "flight-recorder span ring size (0 = default 256, negative disables)")
+		flightDecs   = flag.Int("flight-decisions", 0, "flight-recorder decision ring size (0 = default 256, negative disables)")
 		version      = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
@@ -62,13 +73,15 @@ func main() {
 		return
 	}
 	if err := run(*addr, *drainTimeout, service.Options{
-		Workers:      *workers,
-		Queue:        *queue,
-		CacheEntries: *cacheSize,
-		CacheBytes:   *cacheBytes,
-		MaxBodyBytes: *maxBody,
-		Timeout:      *timeout,
-		RetryAfter:   *retryAfter,
+		Workers:         *workers,
+		Queue:           *queue,
+		CacheEntries:    *cacheSize,
+		CacheBytes:      *cacheBytes,
+		MaxBodyBytes:    *maxBody,
+		Timeout:         *timeout,
+		RetryAfter:      *retryAfter,
+		FlightSpans:     *flightSpans,
+		FlightDecisions: *flightDecs,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "easerve:", err)
 		os.Exit(1)
@@ -95,6 +108,17 @@ func run(addr string, drainTimeout time.Duration, opts service.Options) error {
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
 
+	// SIGQUIT is the black-box probe: dump the flight recorder (recent
+	// spans + decision audits) to stderr and keep serving — the in-process
+	// twin of GET /debug/flight for when the HTTP plane is wedged.
+	quitc := make(chan os.Signal, 1)
+	signal.Notify(quitc, syscall.SIGQUIT)
+	go func() {
+		for range quitc {
+			dumpFlight(svc)
+		}
+	}()
+
 	select {
 	case err := <-errc:
 		return err // listener died before any signal
@@ -115,4 +139,22 @@ func run(addr string, drainTimeout time.Duration, opts service.Options) error {
 	}
 	fmt.Fprintln(os.Stderr, "easerve: drained, exiting")
 	return nil
+}
+
+// dumpFlight writes the flight recorder's snapshot to stderr as one JSON
+// document framed by marker lines (greppable in a log stream).
+func dumpFlight(svc *service.Server) {
+	dump, ok := svc.FlightSnapshot()
+	if !ok {
+		fmt.Fprintln(os.Stderr, "easerve: flight recorder disabled")
+		return
+	}
+	fmt.Fprintf(os.Stderr, "easerve: flight recorder dump (%d spans, %d decisions)\n",
+		len(dump.Spans), len(dump.Decisions))
+	enc := json.NewEncoder(os.Stderr)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(dump); err != nil {
+		fmt.Fprintln(os.Stderr, "easerve: flight dump failed:", err)
+	}
+	fmt.Fprintln(os.Stderr, "easerve: flight recorder dump end")
 }

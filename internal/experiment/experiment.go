@@ -191,6 +191,15 @@ type Spec struct {
 	// are concurrency-safe, so one registry serves all workers. Excluded
 	// from serialization for the same reason as Probe.
 	Metrics *obs.Registry `json:"-"`
+
+	// Spans, when non-nil, receives wall-clock phase spans from the shard
+	// runner (plan / realize-solar / simulate / aggregate — DESIGN.md §15),
+	// parented under the span context the sink carries (obs.TraceCarrier),
+	// e.g. the service's per-request engine span. Shared across parallel
+	// workers, so it must be safe for concurrent use. Excluded from
+	// serialization and therefore from the config digest: tracing a sweep
+	// must not change its cache identity.
+	Spans obs.SpanSink `json:"-"`
 }
 
 // Processor returns the spec's calibrated XScale processor.

@@ -6,6 +6,7 @@ import (
 
 	"github.com/eadvfs/eadvfs/internal/energy"
 	"github.com/eadvfs/eadvfs/internal/metrics"
+	"github.com/eadvfs/eadvfs/internal/obs"
 )
 
 // SourceTrace regenerates Figure 5: one sample path of the eq. (13) solar
@@ -42,15 +43,23 @@ func RemainingEnergy(s Spec, policyNames []string) (*RemainingEnergyResult, erro
 // mid-flight, and surfaces as a *CancelledError instead of a partial
 // (and therefore wrong) average.
 func RemainingEnergyCtx(ctx context.Context, s Spec, policyNames []string) (*RemainingEnergyResult, error) {
+	traceParent := obs.SpanParentOf(s.Spans)
+	phase := func(name string) *obs.ActiveSpan {
+		return obs.StartSpan(s.Spans, "experiment", name, traceParent)
+	}
+	plan := phase("plan")
 	if err := s.Validate(); err != nil {
+		plan.End()
 		return nil, err
 	}
 	factories, err := policyFactories(s, policyNames)
 	if err != nil {
+		plan.End()
 		return nil, err
 	}
 	reps, err := replicateAll(s)
 	if err != nil {
+		plan.End()
 		return nil, err
 	}
 
@@ -74,9 +83,18 @@ func RemainingEnergyCtx(ctx context.Context, s Spec, policyNames []string) (*Rem
 			}
 		}
 	}
+	plan.SetInt("runs", int64(len(jobs)))
+	plan.End()
+	sim := phase("simulate")
+	sim.SetInt("runs", int64(len(jobs)))
 	if err := runParallelCtx(ctx, jobs); err != nil {
+		sim.SetAttr("error", err.Error())
+		sim.End()
 		return nil, err
 	}
+	sim.End()
+	agg := phase("aggregate")
+	defer agg.End()
 
 	// Fold each replication's (capacity, policy) block into per-policy
 	// partial curves, then fold replications in r order. This two-level
@@ -184,15 +202,23 @@ func MissRateSweep(s Spec, policyNames []string) (*MissRateResult, error) {
 // engines at their next poll, and returns a *CancelledError — a partial
 // pooled miss rate is statistically meaningless, so none is produced.
 func MissRateSweepCtx(ctx context.Context, s Spec, policyNames []string) (*MissRateResult, error) {
+	traceParent := obs.SpanParentOf(s.Spans)
+	phase := func(name string) *obs.ActiveSpan {
+		return obs.StartSpan(s.Spans, "experiment", name, traceParent)
+	}
+	plan := phase("plan")
 	if err := s.Validate(); err != nil {
+		plan.End()
 		return nil, err
 	}
 	factories, err := policyFactories(s, policyNames)
 	if err != nil {
+		plan.End()
 		return nil, err
 	}
 	reps, err := replicateAll(s)
 	if err != nil {
+		plan.End()
 		return nil, err
 	}
 
@@ -215,9 +241,18 @@ func MissRateSweepCtx(ctx context.Context, s Spec, policyNames []string) (*MissR
 			}
 		}
 	}
+	plan.SetInt("runs", int64(len(jobs)))
+	plan.End()
+	sim := phase("simulate")
+	sim.SetInt("runs", int64(len(jobs)))
 	if err := runParallelCtx(ctx, jobs); err != nil {
+		sim.SetAttr("error", err.Error())
+		sim.End()
 		return nil, err
 	}
+	sim.End()
+	agg := phase("aggregate")
+	defer agg.End()
 	return aggregateMissRate(s, policyNames, tallies, nil), nil
 }
 

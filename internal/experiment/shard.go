@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"github.com/eadvfs/eadvfs/internal/metrics"
+	"github.com/eadvfs/eadvfs/internal/obs"
 )
 
 // SweepKinds lists the sweep kinds that can be sharded and served:
@@ -170,24 +171,49 @@ func RunShard(kind string, s Spec, policyNames []string, sh Shard) (*ShardResult
 // material is returned for merging. This is what a worker node computes
 // when a coordinator posts a sharded /v1/sweep request.
 func RunShardCtx(ctx context.Context, kind string, s Spec, policyNames []string, sh Shard) (*ShardResult, error) {
+	// Phase spans (DESIGN.md §15): when the spec carries a span sink, the
+	// four stages of a shard — deriving the plan, realizing the solar
+	// sample paths, the parallel simulation fan-out, and the aggregation
+	// fold — each emit one wall-clock span under the sink's parent
+	// context. A nil sink costs one comparison per phase.
+	traceParent := obs.SpanParentOf(s.Spans)
+	phase := func(name string) *obs.ActiveSpan {
+		return obs.StartSpan(s.Spans, "experiment", name, traceParent)
+	}
+
+	sp := phase("plan")
 	if err := s.Validate(); err != nil {
+		sp.End()
 		return nil, err
 	}
 	if err := sh.Validate(s, kind); err != nil {
+		sp.End()
 		return nil, err
 	}
 	factories, err := policyFactories(s, policyNames)
 	if err != nil {
+		sp.End()
 		return nil, err
 	}
 	nr := sh.Reps()
 	reps := make([]Replication, nr)
 	for i := range reps {
 		if reps[i], err = Replicate(s, sh.RepLo+i); err != nil {
+			sp.End()
 			return nil, err
 		}
+	}
+	sp.SetInt("shard", int64(sh.Index))
+	sp.SetInt("replications", int64(nr))
+	sp.End()
+
+	sp = phase("realize-solar")
+	for i := range reps {
 		reps[i].PrepareSource(s.Horizon)
 	}
+	sp.SetFloat("horizon", s.Horizon)
+	sp.End()
+
 	np := len(policyNames)
 	out := &ShardResult{Kind: kind, Shard: sh}
 	switch kind {
@@ -211,10 +237,18 @@ func RunShardCtx(ctx context.Context, kind string, s Spec, policyNames []string,
 				}
 			}
 		}
+		sp = phase("simulate")
+		sp.SetInt("runs", int64(len(jobs)))
 		if err := runParallelCtx(ctx, jobs); err != nil {
+			sp.SetAttr("error", err.Error())
+			sp.End()
 			return nil, err
 		}
+		sp.End()
+		sp = phase("aggregate")
 		out.Tallies = tallies
+		sp.SetInt("cells", int64(len(tallies)))
+		sp.End()
 	case "remaining":
 		nc := len(s.Capacities)
 		series := make([]*metrics.Series, nr*nc*np)
@@ -235,13 +269,21 @@ func RunShardCtx(ctx context.Context, kind string, s Spec, policyNames []string,
 				}
 			}
 		}
+		sp = phase("simulate")
+		sp.SetInt("runs", int64(len(jobs)))
 		if err := runParallelCtx(ctx, jobs); err != nil {
+			sp.SetAttr("error", err.Error())
+			sp.End()
 			return nil, err
 		}
+		sp.End()
+		sp = phase("aggregate")
 		out.Curves = make([][][]float64, nr)
 		for i := 0; i < nr; i++ {
 			out.Curves[i] = repEnergyCurves(s, np, series[i*nc*np:(i+1)*nc*np])
 		}
+		sp.SetInt("curves", int64(nr))
+		sp.End()
 	}
 	return out, nil
 }

@@ -82,12 +82,12 @@ func TestShardValidate(t *testing.T) {
 		t.Fatalf("valid shard rejected: %v", err)
 	}
 	bad := []Shard{
-		{Index: 0, Count: 0, RepHi: 1, CapHi: nc},                             // count < 1
-		{Index: 2, Count: 2, RepHi: 1, CapHi: nc},                             // index out of range
-		{Index: 0, Count: 1, RepLo: 3, RepHi: 3, CapHi: nc},                   // empty rep window
-		{Index: 0, Count: 1, RepHi: s.Replications + 1, CapHi: nc},            // reps out of range
-		{Index: 0, Count: 1, RepHi: 1, CapLo: 2, CapHi: 2},                    // empty cap window
-		{Index: 0, Count: 1, RepHi: 1, CapHi: nc + 1},                         // caps out of range
+		{Index: 0, Count: 0, RepHi: 1, CapHi: nc},                  // count < 1
+		{Index: 2, Count: 2, RepHi: 1, CapHi: nc},                  // index out of range
+		{Index: 0, Count: 1, RepLo: 3, RepHi: 3, CapHi: nc},        // empty rep window
+		{Index: 0, Count: 1, RepHi: s.Replications + 1, CapHi: nc}, // reps out of range
+		{Index: 0, Count: 1, RepHi: 1, CapLo: 2, CapHi: 2},         // empty cap window
+		{Index: 0, Count: 1, RepHi: 1, CapHi: nc + 1},              // caps out of range
 	}
 	for i, sh := range bad {
 		if err := sh.Validate(s, "missrate"); err == nil {

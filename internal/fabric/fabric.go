@@ -82,6 +82,13 @@ type Options struct {
 	Vnodes int
 	// Registry receives fabric metrics (default: a private registry).
 	Registry *obs.Registry
+	// Trace, when non-nil, receives the coordinator's spans — one root
+	// per sweep, one child per shard, one grandchild per attempt — plus
+	// the worker-side spans shipped back in X-Trace-Spans headers, all
+	// under one propagated trace ID (DESIGN.md §15). Nil disables
+	// tracing: attempts then carry no traceparent and workers serve
+	// untraced.
+	Trace obs.SpanSink
 	// Logf, when set, receives one line per retry/hedge/breaker event.
 	Logf func(format string, args ...any)
 }
@@ -247,6 +254,14 @@ func (c *Coordinator) RunSweep(ctx context.Context, kind string, spec experiment
 		go c.probeLoop(pctx)
 	}
 
+	// Root span of the whole distributed sweep; every shard, attempt and
+	// worker span below shares its trace ID.
+	root := obs.StartSpan(c.opts.Trace, "eactl", "sweep", obs.SpanContext{})
+	root.SetAttr("kind", kind)
+	root.SetInt("shards", int64(len(plans)))
+	root.SetInt("workers", int64(len(c.workers)))
+	defer root.End()
+
 	out := &SweepResult{Kind: kind, Spec: spec, Policies: policies, Shards: make([]ShardOutcome, len(plans))}
 	results := make([]*experiment.ShardResult, len(plans))
 	var wg sync.WaitGroup
@@ -254,7 +269,7 @@ func (c *Coordinator) RunSweep(ctx context.Context, kind string, spec experiment
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i], out.Shards[i] = c.runShard(ctx, plans[i])
+			results[i], out.Shards[i] = c.runShard(ctx, plans[i], root.Context())
 		}(i)
 	}
 	wg.Wait()
@@ -266,6 +281,7 @@ func (c *Coordinator) RunSweep(ctx context.Context, kind string, spec experiment
 			out.Incomplete++
 		}
 	}
+	root.SetInt("incomplete", int64(out.Incomplete))
 	merged, err := experiment.MergeShards(kind, spec, policies, results, c.opts.AllowPartial)
 	if err != nil {
 		if out.Incomplete > 0 {
@@ -299,10 +315,19 @@ type attemptResult struct {
 // state machine. Exactly one goroutine runs this per shard; attempt
 // goroutines communicate only through the buffered results channel, and
 // the shard context cancels every losing attempt the moment one wins.
-func (c *Coordinator) runShard(ctx context.Context, p shardPlan) (*experiment.ShardResult, ShardOutcome) {
+func (c *Coordinator) runShard(ctx context.Context, p shardPlan, parent obs.SpanContext) (*experiment.ShardResult, ShardOutcome) {
 	out := ShardOutcome{Shard: p.shard, Key: p.key}
 	start := time.Now()
 	defer func() { c.shardSecs.Observe(time.Since(start).Seconds()) }()
+
+	// One span covers the shard from first launch to final outcome; each
+	// attempt nests under it with its worker choice, retry ordinal,
+	// hedge flag and ring position, and the accumulated backoff lands on
+	// the shard span at the end.
+	span := obs.StartSpan(c.opts.Trace, "eactl", "shard", parent)
+	span.SetInt("shard", int64(p.shard.Index))
+	span.SetAttr("key", p.key)
+	var backoffTotal time.Duration
 
 	seq := c.ring.sequence(p.key)
 	sctx, cancel := context.WithCancel(ctx)
@@ -314,26 +339,44 @@ func (c *Coordinator) runShard(ctx context.Context, p shardPlan) (*experiment.Sh
 	inflight := make(map[int]bool, 2)
 	cursor := 0
 
+	finishSpan := func(outcome string) {
+		span.SetAttr("outcome", outcome)
+		span.SetInt("attempts", int64(out.Attempts))
+		span.SetBool("hedged", out.Hedged)
+		span.SetInt("backoff_ns", int64(backoffTotal))
+		if out.Worker != "" {
+			span.SetAttr("worker", out.Worker)
+		}
+		span.End()
+	}
+
 	fail := func(err error) (*experiment.ShardResult, ShardOutcome) {
 		out.Err = err
 		c.shardsFailed.Inc()
 		c.logf("shard %d lost after %d attempts: %v", p.shard.Index, out.Attempts, err)
+		finishSpan("failed")
 		return nil, out
 	}
 
 	// launch starts an attempt on the next ring-sequence worker that is
 	// not already serving this shard and whose breaker admits it; false
 	// when no worker qualifies right now.
-	launch := func() bool {
+	launch := func(hedge bool) bool {
 		for n := 0; n < len(seq); n++ {
-			w := seq[cursor%len(seq)]
+			pos := cursor % len(seq)
+			w := seq[pos]
 			cursor++
 			if inflight[w] || !c.breakers[w].allow() {
 				continue
 			}
 			inflight[w] = true
 			out.Attempts++
-			go c.attempt(sctx, w, p, resc)
+			asp := obs.StartSpan(c.opts.Trace, "eactl", "attempt", span.Context())
+			asp.SetAttr("worker", c.workers[w])
+			asp.SetInt("try", int64(out.Attempts))
+			asp.SetInt("ring_pos", int64(pos))
+			asp.SetBool("hedge", hedge)
+			go c.attempt(sctx, w, p, asp, resc)
 			return true
 		}
 		return false
@@ -350,13 +393,14 @@ func (c *Coordinator) runShard(ctx context.Context, p shardPlan) (*experiment.Sh
 		if backoff *= 2; backoff > c.opts.MaxBackoff {
 			backoff = c.opts.MaxBackoff
 		}
+		backoffTotal += d
 		return sleepCtx(ctx, d)
 	}
 	// ensureLaunched keeps trying to start an attempt, counting stalls
 	// (every worker breaker-open or busy) against the attempt budget so a
 	// fully dead fleet fails the shard instead of spinning forever.
 	ensureLaunched := func() bool {
-		for !launch() {
+		for !launch(false) {
 			out.Attempts++
 			if out.Attempts >= c.opts.MaxAttempts {
 				return false
@@ -402,6 +446,7 @@ func (c *Coordinator) runShard(ctx context.Context, p shardPlan) (*experiment.Sh
 				cancel()
 				out.Worker = c.workers[r.worker]
 				c.shardsOK.Inc()
+				finishSpan("ok")
 				return r.res, out
 			}
 			lastErr = r.err
@@ -430,7 +475,7 @@ func (c *Coordinator) runShard(ctx context.Context, p shardPlan) (*experiment.Sh
 			}
 			rearmHedge()
 		case <-hedgeC:
-			if out.Attempts < c.opts.MaxAttempts && len(inflight) > 0 && launch() {
+			if out.Attempts < c.opts.MaxAttempts && len(inflight) > 0 && launch(true) {
 				c.hedges.Inc()
 				out.Hedged = true
 				c.logf("shard %d hedged after %s", p.shard.Index, c.opts.HedgeAfter)
@@ -443,11 +488,18 @@ func (c *Coordinator) runShard(ctx context.Context, p shardPlan) (*experiment.Sh
 
 // attempt posts the shard to one worker, classifies the outcome, feeds
 // the worker's breaker, and reports on resc. A loss to a racing sibling
-// (shard context cancelled) does not penalize the breaker.
-func (c *Coordinator) attempt(sctx context.Context, w int, p shardPlan, resc chan<- attemptResult) {
+// (shard context cancelled) does not penalize the breaker. The attempt
+// span travels into the transport via the context (HTTPTransport turns
+// it into a traceparent header) and is ended here with the outcome; the
+// worker's own spans from the response envelope are forwarded to the
+// trace sink, completing the stitched tree.
+func (c *Coordinator) attempt(sctx context.Context, w int, p shardPlan, span *obs.ActiveSpan, resc chan<- attemptResult) {
 	started := time.Now()
 	actx, cancel := context.WithTimeout(sctx, c.opts.RequestTimeout)
 	defer cancel()
+	if sc := span.Context(); sc.Valid() {
+		actx = obs.ContextWithSpan(actx, sc)
+	}
 	env, err := c.opts.Transport.Do(actx, c.workers[w], p.body)
 	var res *experiment.ShardResult
 	if err == nil {
@@ -464,6 +516,22 @@ func (c *Coordinator) attempt(sctx context.Context, w int, p shardPlan, resc cha
 		// The worker correctly refused a bad request; not its fault.
 	default:
 		c.noteFailure(w)
+	}
+	switch {
+	case err == nil:
+		span.SetAttr("outcome", "ok")
+	case errors.Is(err, context.Canceled):
+		// Typically a hedged loser cancelled mid-flight by the winner.
+		span.SetAttr("outcome", "cancelled")
+	default:
+		span.SetAttr("outcome", "error")
+		span.SetAttr("error", err.Error())
+	}
+	span.End()
+	if env != nil && c.opts.Trace != nil {
+		for _, sp := range env.Spans {
+			c.opts.Trace.OnSpan(sp)
+		}
 	}
 	c.breakerGauge[w].Set(float64(c.breakers[w].currentState()))
 	resc <- attemptResult{worker: w, res: res, err: err, started: started}

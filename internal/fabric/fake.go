@@ -11,6 +11,7 @@ import (
 
 	"github.com/eadvfs/eadvfs/internal/digest"
 	"github.com/eadvfs/eadvfs/internal/experiment"
+	"github.com/eadvfs/eadvfs/internal/obs"
 	"github.com/eadvfs/eadvfs/internal/rng"
 	"github.com/eadvfs/eadvfs/internal/service"
 )
@@ -238,6 +239,32 @@ func (t *FakeTransport) serve(ctx context.Context, worker string, w *FakeWorker,
 	var env Envelope
 	if err := json.Unmarshal(cached, &env); err != nil {
 		return nil, err
+	}
+	// Mirror a traced easerve: when the attempt context carries a span
+	// (the coordinator injected a traceparent), synthesize the worker-side
+	// request/cache/engine spans so propagation and stitching are testable
+	// hermetically. Spans ride transport metadata (Envelope.Spans), never
+	// the cached body.
+	if sc, traced := obs.SpanFromContext(ctx); traced {
+		now := time.Now()
+		req := obs.Span{
+			Trace: sc.Trace, ID: obs.NewSpanID(), Parent: sc.Span,
+			Name: "request:sweep", Service: "easerve", Start: now,
+		}
+		cacheOutcome := "miss"
+		if ok {
+			cacheOutcome = "hit"
+		}
+		cacheSp := obs.Span{
+			Trace: sc.Trace, ID: obs.NewSpanID(), Parent: req.ID,
+			Name: "cache", Service: "easerve", Start: now,
+			Attrs: map[string]string{"outcome": cacheOutcome},
+		}
+		engine := obs.Span{
+			Trace: sc.Trace, ID: obs.NewSpanID(), Parent: req.ID,
+			Name: "engine", Service: "easerve", Start: now,
+		}
+		env.Spans = []obs.Span{cacheSp, engine, req}
 	}
 	return &env, nil
 }

@@ -1,0 +1,108 @@
+package fabric
+
+import (
+	"context"
+	"testing"
+
+	"github.com/eadvfs/eadvfs/internal/obs"
+)
+
+// A traced sweep over a healthy fake pool must produce one coherent
+// trace: a single eactl root, a shard span per planned shard, each
+// holding exactly one winning attempt whose worker-side request/cache/
+// engine spans share the propagated trace ID.
+func TestRunSweepEmitsStitchableTrace(t *testing.T) {
+	spec := testSpec()
+	workers := []string{"http://w0", "http://w1"}
+	tr := NewFakeTransport(7, map[string]*FakeWorker{
+		workers[0]: {}, workers[1]: {},
+	})
+	rec := obs.NewRecorder()
+	opts := fastOptions(workers, tr)
+	opts.Trace = rec
+	c, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.RunSweep(context.Background(), "missrate", spec, testPolicies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Incomplete != 0 {
+		t.Fatalf("healthy sweep incomplete: %d", res.Incomplete)
+	}
+
+	spans := rec.Spans()
+	tree := obs.StitchSpans(spans)
+	if tree.Traces != 1 {
+		t.Fatalf("sweep produced %d trace IDs, want 1", tree.Traces)
+	}
+	if tree.Orphans != 0 {
+		t.Fatalf("%d orphaned spans on a healthy pool", tree.Orphans)
+	}
+	if len(tree.Roots) != 1 || tree.Roots[0].Span.Name != "sweep" || tree.Roots[0].Span.Service != "eactl" {
+		t.Fatalf("want single eactl sweep root, got %+v", tree.Roots)
+	}
+
+	root := tree.Roots[0]
+	shards := 0
+	for _, sh := range root.Children {
+		if sh.Span.Name != "shard" {
+			continue
+		}
+		shards++
+		wins := 0
+		for _, a := range sh.Children {
+			if a.Span.Name != "attempt" {
+				continue
+			}
+			if a.Span.Attrs["outcome"] == "ok" {
+				wins++
+				// The winning attempt carries the worker's spans:
+				// request:sweep with cache and engine children.
+				var reqNode *obs.SpanNode
+				for _, w := range a.Children {
+					if w.Span.Name == "request:sweep" && w.Span.Service == "easerve" {
+						reqNode = w
+					}
+				}
+				if reqNode == nil {
+					t.Fatalf("winning attempt of shard %s has no worker request span", sh.Span.Attrs["shard"])
+				}
+				got := map[string]bool{}
+				for _, cch := range reqNode.Children {
+					got[cch.Span.Name] = true
+				}
+				if !got["cache"] || !got["engine"] {
+					t.Fatalf("worker request span missing cache/engine children: %v", got)
+				}
+			}
+		}
+		if wins != 1 {
+			t.Fatalf("shard %s has %d winning attempts, want 1", sh.Span.Attrs["shard"], wins)
+		}
+	}
+	if shards != len(res.Shards) {
+		t.Fatalf("trace has %d shard spans, plan had %d", shards, len(res.Shards))
+	}
+}
+
+// With tracing disabled (Options.Trace nil) a sweep emits nothing and
+// the transport sees no span context — the fake worker synthesizes spans
+// only when a traceparent was propagated.
+func TestRunSweepUntracedEmitsNoSpans(t *testing.T) {
+	spec := testSpec()
+	workers := []string{"http://w0"}
+	tr := NewFakeTransport(3, map[string]*FakeWorker{workers[0]: {}})
+	c, err := New(fastOptions(workers, tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.RunSweep(context.Background(), "missrate", spec, testPolicies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Incomplete != 0 {
+		t.Fatalf("untraced sweep incomplete: %d", res.Incomplete)
+	}
+}

@@ -10,6 +10,8 @@ import (
 	"net/http"
 	"strconv"
 	"time"
+
+	"github.com/eadvfs/eadvfs/internal/obs"
 )
 
 // Envelope is the worker response a Transport returns on success: the
@@ -18,6 +20,12 @@ import (
 type Envelope struct {
 	Digest string          `json:"config_digest"`
 	Result json.RawMessage `json:"result"`
+
+	// Spans carries the worker-side spans of a traced request, decoded
+	// from the X-Trace-Spans response header. Transport metadata, not
+	// part of the response body (which stays byte-identical under
+	// tracing), hence excluded from the JSON form.
+	Spans []obs.Span `json:"-"`
 }
 
 // Transport delivers one sharded sweep request to a worker. body is the
@@ -91,6 +99,12 @@ func (t *HTTPTransport) Do(ctx context.Context, worker string, body []byte) (*En
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	// Propagate trace context: when the attempt's context carries a span
+	// (coordinator tracing on), the worker sees a standard traceparent
+	// header and returns its own spans in X-Trace-Spans.
+	if sc, ok := obs.SpanFromContext(ctx); ok {
+		req.Header.Set("traceparent", sc.Traceparent())
+	}
 	resp, err := t.client().Do(req)
 	if err != nil {
 		return nil, err // transport failure: retryable
@@ -107,6 +121,9 @@ func (t *HTTPTransport) Do(ctx context.Context, worker string, body []byte) (*En
 		if env.Digest == "" || len(env.Result) == 0 {
 			return nil, fmt.Errorf("fabric: %s sent incomplete envelope", worker)
 		}
+		// Worker spans are best-effort observability: a corrupt header
+		// never fails a shard that computed correctly.
+		env.Spans, _ = obs.DecodeSpanHeader(resp.Header.Get(obs.SpanHeader))
 		return &env, nil
 	case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable:
 		return nil, &ShedError{Worker: worker, Status: resp.StatusCode, RetryAfter: retryAfterOf(resp)}

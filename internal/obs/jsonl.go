@@ -31,7 +31,22 @@ import (
 // Numeric fields are finite (an infinite "until" — "until the next event"
 // — is omitted rather than encoded). Unknown kinds and reason codes are
 // schema violations: the known sets are part of the schema.
+//
+// Schema v1.1 adds a third line type, the distributed-tracing span
+// (DESIGN.md §15). Span lines carry "v":1.1 while event/decision lines
+// keep "v":1, so a v1 stream remains valid byte for byte:
+//
+//	{"v":1.1,"type":"span","span":{"trace":<32 hex>,"id":<16 hex>,
+//	 "parent":<16 hex, omitted for roots>,"name":<string>,
+//	 "service":<string>,"start_unix_ns":<int>,"dur_ns":<int>,
+//	 "attrs":{<string>:<string>, omitted when empty}}}
+//
+// Hex fields are exact-width lowercase; all-zero trace or span IDs are
+// schema violations (they are invalid in W3C trace-context too).
 const JSONLSchemaVersion = 1
+
+// JSONLSpanVersion is the schema version carried by span lines.
+const JSONLSpanVersion = 1.1
 
 // eventLine is the schema-v1 wire form of an Event.
 type eventLine struct {
@@ -66,6 +81,15 @@ type decisionLine struct {
 	Speed     float64  `json:"speed"`
 	Until     *float64 `json:"until,omitempty"`
 	Reason    Reason   `json:"reason"`
+}
+
+// spanLine is the schema-v1.1 wire form of a Span. The span body nests
+// under "span" (rather than flattening) so its strict decoder and the
+// X-Trace-Spans header share one representation.
+type spanLine struct {
+	V    float64 `json:"v"`
+	Type string  `json:"type"`
+	Span Span    `json:"span"`
 }
 
 // JSONLWriter is a Probe that streams schema-v1 lines to an io.Writer.
@@ -105,8 +129,10 @@ func (jw *JSONLWriter) OnEvent(ev Event) {
 	jw.encode(&line)
 }
 
-// OnDecision implements Probe.
-func (jw *JSONLWriter) OnDecision(d DecisionRecord) {
+// decisionWire builds the schema-v1 wire form of d. The infinite Until
+// ("run until the next event") is omitted rather than encoded — JSON has
+// no Inf — which is why the flight recorder dump reuses this form too.
+func decisionWire(d DecisionRecord) decisionLine {
 	line := decisionLine{
 		V: JSONLSchemaVersion, Type: "decision",
 		T: d.Time, Policy: d.Policy, Task: d.TaskID, Seq: d.Seq,
@@ -119,7 +145,19 @@ func (jw *JSONLWriter) OnDecision(d DecisionRecord) {
 		u := d.Until
 		line.Until = &u
 	}
+	return line
+}
+
+// OnDecision implements Probe.
+func (jw *JSONLWriter) OnDecision(d DecisionRecord) {
+	line := decisionWire(d)
 	jw.encode(&line)
+}
+
+// OnSpan implements SpanSink: spans interleave with events and decisions
+// in the same stream as v1.1 lines.
+func (jw *JSONLWriter) OnSpan(sp Span) {
+	jw.encode(&spanLine{V: JSONLSpanVersion, Type: "span", Span: sp})
 }
 
 func (jw *JSONLWriter) encode(line any) {
@@ -141,8 +179,9 @@ func (jw *JSONLWriter) Flush() error {
 	return jw.err
 }
 
-// CheckJSONL validates a schema-v1 stream line by line and returns the
-// number of valid lines. The first malformed line fails the whole stream
+// CheckJSONL validates a schema-v1/v1.1 stream line by line and returns
+// the number of valid lines: event and decision lines must carry "v":1,
+// span lines "v":1.1. The first malformed line fails the whole stream
 // with its line number. Empty streams are valid (a run can emit nothing).
 func CheckJSONL(r io.Reader) (int, error) {
 	knownKinds := make(map[EventKind]bool)
@@ -165,14 +204,18 @@ func CheckJSONL(r io.Reader) (int, error) {
 			continue
 		}
 		var head struct {
-			V    int    `json:"v"`
-			Type string `json:"type"`
+			V    float64 `json:"v"`
+			Type string  `json:"type"`
 		}
 		if err := json.Unmarshal(raw, &head); err != nil {
 			return n, fmt.Errorf("obs: line %d: not a JSON object: %w", lineNo, err)
 		}
-		if head.V != JSONLSchemaVersion {
-			return n, fmt.Errorf("obs: line %d: schema version %d, want %d", lineNo, head.V, JSONLSchemaVersion)
+		wantV := float64(JSONLSchemaVersion)
+		if head.Type == "span" {
+			wantV = JSONLSpanVersion
+		}
+		if head.V != wantV {
+			return n, fmt.Errorf("obs: line %d: schema version %v, want %v for %q lines", lineNo, head.V, wantV, head.Type)
 		}
 		switch head.Type {
 		case "event":
@@ -201,6 +244,14 @@ func CheckJSONL(r io.Reader) (int, error) {
 				if math.IsNaN(f) || math.IsInf(f, 0) {
 					return n, fmt.Errorf("obs: line %d: non-finite numeric field", lineNo)
 				}
+			}
+		case "span":
+			var sl spanLine
+			if err := strictUnmarshal(raw, &sl); err != nil {
+				return n, fmt.Errorf("obs: line %d: bad span: %w", lineNo, err)
+			}
+			if err := sl.Span.Validate(); err != nil {
+				return n, fmt.Errorf("obs: line %d: %w", lineNo, err)
 			}
 		default:
 			return n, fmt.Errorf("obs: line %d: unknown line type %q", lineNo, head.Type)

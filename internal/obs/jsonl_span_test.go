@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Span lines (schema v1.1) must pass the validator alongside v1 event and
+// decision lines — one stream, mixed record types.
+func TestCheckJSONLAcceptsSpanLines(t *testing.T) {
+	var buf bytes.Buffer
+	jw := NewJSONLWriter(&buf)
+	jw.OnEvent(Event{Time: 1, Kind: KindArrival, TaskID: 1, Seq: 0,
+		Level: 0, Mode: "run"})
+	trace := NewTraceID()
+	parent := NewSpanID()
+	jw.OnSpan(Span{Trace: trace, ID: parent, Name: "sweep", Service: "eactl",
+		Start: time.Unix(100, 0), Duration: time.Second})
+	jw.OnSpan(Span{Trace: trace, ID: NewSpanID(), Parent: parent,
+		Name: "engine", Service: "easerve", Start: time.Unix(100, 0),
+		Duration: 200 * time.Millisecond,
+		Attrs:    map[string]string{"outcome": "ok"}})
+	if err := jw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	n, err := CheckJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("CheckJSONL rejected mixed v1/v1.1 stream: %v\n%s", err, buf.String())
+	}
+	if n != 3 {
+		t.Fatalf("validated %d lines, want 3", n)
+	}
+	if !strings.Contains(buf.String(), `"v":1.1`) {
+		t.Fatalf("span lines missing v1.1 marker:\n%s", buf.String())
+	}
+}
+
+// Malformed span records must be rejected line-precisely: wrong version
+// tags, structurally invalid spans, and trace/span IDs that are not
+// well-formed traceparent material.
+func TestCheckJSONLRejectsMalformedSpans(t *testing.T) {
+	goodTrace := NewTraceID().String()
+	goodSpan := NewSpanID().String()
+	cases := map[string]string{
+		"span with v1 tag": fmt.Sprintf(
+			`{"v":1,"type":"span","span":{"trace":"%s","id":"%s","name":"x","service":"s","start_unix_ns":1,"dur_ns":1}}`,
+			goodTrace, goodSpan),
+		"event with v1.1 tag": eventLineWithVersion(t, "1.1"),
+		"all-zero trace id": fmt.Sprintf(
+			`{"v":1.1,"type":"span","span":{"trace":"%s","id":"%s","name":"x","service":"s","start_unix_ns":1,"dur_ns":1}}`,
+			strings.Repeat("0", 32), goodSpan),
+		"uppercase trace id": fmt.Sprintf(
+			`{"v":1.1,"type":"span","span":{"trace":"%s","id":"%s","name":"x","service":"s","start_unix_ns":1,"dur_ns":1}}`,
+			strings.ToUpper(goodTrace), goodSpan),
+		"truncated span id": fmt.Sprintf(
+			`{"v":1.1,"type":"span","span":{"trace":"%s","id":"%s","name":"x","service":"s","start_unix_ns":1,"dur_ns":1}}`,
+			goodTrace, goodSpan[:8]),
+		"self-parent": fmt.Sprintf(
+			`{"v":1.1,"type":"span","span":{"trace":"%s","id":"%s","parent":"%s","name":"x","service":"s","start_unix_ns":1,"dur_ns":1}}`,
+			goodTrace, goodSpan, goodSpan),
+		"negative duration": fmt.Sprintf(
+			`{"v":1.1,"type":"span","span":{"trace":"%s","id":"%s","name":"x","service":"s","start_unix_ns":1,"dur_ns":-5}}`,
+			goodTrace, goodSpan),
+		"empty name": fmt.Sprintf(
+			`{"v":1.1,"type":"span","span":{"trace":"%s","id":"%s","name":"","service":"s","start_unix_ns":1,"dur_ns":1}}`,
+			goodTrace, goodSpan),
+		"unknown span field": fmt.Sprintf(
+			`{"v":1.1,"type":"span","span":{"trace":"%s","id":"%s","name":"x","service":"s","start_unix_ns":1,"dur_ns":1,"bogus":true}}`,
+			goodTrace, goodSpan),
+	}
+	for name, line := range cases {
+		if _, err := CheckJSONL(strings.NewReader(line + "\n")); err == nil {
+			t.Errorf("%s: CheckJSONL accepted malformed line: %s", name, line)
+		}
+	}
+}
+
+// eventLineWithVersion renders one valid event line and rewrites its
+// schema version tag — the rest of the record stays well-formed, so only
+// the version mismatch can cause a rejection.
+func eventLineWithVersion(t *testing.T, v string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	jw := NewJSONLWriter(&buf)
+	jw.OnEvent(Event{Time: 1, Kind: KindArrival, TaskID: 1, Seq: 0,
+		Level: 0, Mode: "run"})
+	if err := jw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	line := strings.TrimSpace(buf.String())
+	if !strings.Contains(line, `"v":1`) {
+		t.Fatalf("unexpected event line: %s", line)
+	}
+	return strings.Replace(line, `"v":1`, `"v":`+v, 1)
+}

@@ -169,12 +169,36 @@ func (m multi) OnDecision(d DecisionRecord) {
 	}
 }
 
+// OnSpan implements SpanSink by fanning to the members that are span
+// sinks themselves. Note a Multi always satisfies SpanSink even when no
+// member does — producers that gate span creation on a type assertion
+// should prefer handing the real sink around.
+func (m multi) OnSpan(sp Span) {
+	for _, p := range m {
+		if ss, ok := p.(SpanSink); ok {
+			ss.OnSpan(sp)
+		}
+	}
+}
+
+// TraceParent implements TraceCarrier: the first member carrying a valid
+// parent span context wins.
+func (m multi) TraceParent() SpanContext {
+	for _, p := range m {
+		if sc := SpanParentOf(p); sc.Valid() {
+			return sc
+		}
+	}
+	return SpanContext{}
+}
+
 // Recorder is a Probe that retains everything it sees, for tests and for
 // eatrace's -audit listing. Safe for concurrent use.
 type Recorder struct {
 	mu        sync.Mutex
 	events    []Event
 	decisions []DecisionRecord
+	spans     []Span
 }
 
 // NewRecorder returns an empty Recorder.
@@ -206,4 +230,18 @@ func (r *Recorder) Decisions() []DecisionRecord {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return append([]DecisionRecord(nil), r.decisions...)
+}
+
+// OnSpan implements SpanSink.
+func (r *Recorder) OnSpan(sp Span) {
+	r.mu.Lock()
+	r.spans = append(r.spans, sp)
+	r.mu.Unlock()
+}
+
+// Spans returns the recorded spans in completion order.
+func (r *Recorder) Spans() []Span {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Span(nil), r.spans...)
 }

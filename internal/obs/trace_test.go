@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	sc := SpanContext{Trace: NewTraceID(), Span: NewSpanID(), Sampled: true}
+	hdr := sc.Traceparent()
+	if len(hdr) != 55 {
+		t.Fatalf("traceparent %q: len %d, want 55", hdr, len(hdr))
+	}
+	got, err := ParseTraceparent(hdr)
+	if err != nil {
+		t.Fatalf("ParseTraceparent(%q): %v", hdr, err)
+	}
+	if got != sc {
+		t.Fatalf("round trip: got %+v, want %+v", got, sc)
+	}
+}
+
+func TestParseTraceparentRejectsMalformed(t *testing.T) {
+	valid := SpanContext{Trace: NewTraceID(), Span: NewSpanID(), Sampled: true}.Traceparent()
+	bad := map[string]string{
+		"empty":            "",
+		"short":            valid[:54],
+		"long":             valid + "0",
+		"version 01":       "01" + valid[2:],
+		"version ff":       "ff" + valid[2:],
+		"uppercase hex":    strings.ToUpper(valid),
+		"bad separator":    valid[:2] + "_" + valid[3:],
+		"non-hex trace":    valid[:3] + "g" + valid[4:],
+		"all-zero trace":   "00-00000000000000000000000000000000-" + valid[36:],
+		"all-zero span":    valid[:36] + "0000000000000000-01",
+		"missing sections": "00-abc",
+	}
+	for name, in := range bad {
+		if _, err := ParseTraceparent(in); err == nil {
+			t.Errorf("%s: ParseTraceparent(%q) accepted malformed input", name, in)
+		}
+	}
+}
+
+func TestSpanJSONRoundTrip(t *testing.T) {
+	sp := Span{
+		Trace:    NewTraceID(),
+		ID:       NewSpanID(),
+		Parent:   NewSpanID(),
+		Name:     "engine",
+		Service:  "easerve",
+		Start:    time.Unix(1700000000, 123456789),
+		Duration: 42 * time.Millisecond,
+		Attrs:    map[string]string{"outcome": "ok"},
+	}
+	raw, err := json.Marshal(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Span
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Trace != sp.Trace || got.ID != sp.ID || got.Parent != sp.Parent ||
+		got.Name != sp.Name || got.Service != sp.Service ||
+		!got.Start.Equal(sp.Start) || got.Duration != sp.Duration ||
+		got.Attrs["outcome"] != "ok" {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, sp)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatalf("round-tripped span invalid: %v", err)
+	}
+}
+
+func TestStartSpanNilSinkIsNoOp(t *testing.T) {
+	sp := StartSpan(nil, "svc", "noop", SpanContext{})
+	if sp != nil {
+		t.Fatalf("StartSpan(nil sink) = %v, want nil", sp)
+	}
+	// Every method must be nil-safe: this is the disabled hot path.
+	sp.SetAttr("k", "v")
+	sp.SetInt("n", 1)
+	sp.SetFloat("f", 1.5)
+	sp.SetBool("b", true)
+	sp.End()
+	if sc := sp.Context(); sc.Valid() {
+		t.Fatalf("nil span has valid context %+v", sc)
+	}
+}
+
+func TestStartSpanParentage(t *testing.T) {
+	rec := NewRecorder()
+	root := StartSpan(rec, "eactl", "sweep", SpanContext{})
+	child := StartSpan(rec, "eactl", "shard", root.Context())
+	child.End()
+	root.End()
+	spans := rec.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("recorded %d spans, want 2", len(spans))
+	}
+	// Children flush before their parents (child ended first).
+	if spans[0].Parent != spans[1].ID {
+		t.Fatalf("child parent %s, want root %s", spans[0].Parent, spans[1].ID)
+	}
+	if spans[0].Trace != spans[1].Trace {
+		t.Fatalf("child trace %s != root trace %s", spans[0].Trace, spans[1].Trace)
+	}
+}
+
+func TestSpanHeaderRoundTrip(t *testing.T) {
+	spans := []Span{
+		{Trace: NewTraceID(), ID: NewSpanID(), Name: "a", Service: "s", Start: time.Unix(1, 0)},
+		{Trace: NewTraceID(), ID: NewSpanID(), Name: "b", Service: "s", Start: time.Unix(2, 0), Duration: time.Second},
+	}
+	hdr := EncodeSpanHeader(spans)
+	got, err := DecodeSpanHeader(hdr)
+	if err != nil {
+		t.Fatalf("DecodeSpanHeader: %v", err)
+	}
+	if len(got) != 2 || got[0].Name != "a" || got[1].Duration != time.Second {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if out, err := DecodeSpanHeader(""); err != nil || out != nil {
+		t.Fatalf("empty header: (%v, %v), want (nil, nil)", out, err)
+	}
+	if _, err := DecodeSpanHeader("!!!not base64!!!"); err == nil {
+		t.Fatal("garbage header decoded without error")
+	}
+}

@@ -90,6 +90,11 @@ type Options struct {
 	// Registry receives the service's metrics (and per-run eadvfs_run_*
 	// aggregates). One is created when nil; either way /metrics serves it.
 	Registry *obs.Registry
+	// FlightSpans / FlightDecisions bound the always-on flight recorder's
+	// rings (default obs.DefaultFlight*; negative disables the recorder
+	// and /debug/flight).
+	FlightSpans     int
+	FlightDecisions int
 }
 
 func (o Options) withDefaults() Options {
@@ -191,7 +196,13 @@ type Server struct {
 	inFlight   *obs.Gauge
 	cacheSize  *obs.Gauge
 	cacheBytes *obs.Gauge
+	hitRatio   *obs.Gauge
 	latency    map[string]*obs.Summary
+	durations  map[string]*obs.HistogramMetric
+
+	// flight is the always-on bounded recorder of recent spans and
+	// decision audits, served by /debug/flight (nil when disabled).
+	flight *obs.FlightRecorder
 }
 
 // New builds a Server.
@@ -230,6 +241,18 @@ func New(opts Options) *Server {
 		"sim":   s.reg.Summary(obs.Labeled("easerve_request_seconds", "endpoint", "sim"), latHelp),
 		"sweep": s.reg.Summary(obs.Labeled("easerve_request_seconds", "endpoint", "sweep"), latHelp),
 	}
+	s.hitRatio = s.reg.Gauge("easerve_cache_hit_ratio",
+		"fraction of cache lookups served without a fresh engine run (hit+join over all lookups)")
+	// Sweeps run orders of magnitude longer than single sims, so the two
+	// endpoints get differently scaled fixed-width buckets.
+	const durHelp = "request service time distribution in seconds"
+	s.durations = map[string]*obs.HistogramMetric{
+		"sim":   s.reg.Histogram(obs.Labeled("easerve_request_duration_seconds", "endpoint", "sim"), durHelp, 0, 2, 20),
+		"sweep": s.reg.Histogram(obs.Labeled("easerve_request_duration_seconds", "endpoint", "sweep"), durHelp, 0, 30, 30),
+	}
+	if o.FlightSpans >= 0 && o.FlightDecisions >= 0 {
+		s.flight = obs.NewFlightRecorder(o.FlightSpans, o.FlightDecisions)
+	}
 
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/sim", s.handleSim)
@@ -237,6 +260,7 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/version", s.handleVersion)
+	s.mux.HandleFunc("/debug/flight", s.handleFlight)
 	return s
 }
 
@@ -347,7 +371,7 @@ func (s *Server) writeError(w http.ResponseWriter, code int, err error) {
 	w.Header().Set("Content-Type", "application/json")
 	switch code {
 	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
-		w.Header().Set("Retry-After", strconv.Itoa(int((s.opts.RetryAfter + time.Second - 1) / time.Second)))
+		w.Header().Set("Retry-After", strconv.Itoa(int((s.opts.RetryAfter+time.Second-1)/time.Second)))
 	}
 	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(errorBody{Error: err.Error()})
@@ -356,29 +380,51 @@ func (s *Server) writeError(w http.ResponseWriter, code int, err error) {
 // serveCached runs the single-flight protocol for key around compute and
 // writes the (computed or cached) response. compute returns the result
 // payload bytes; its output is stored verbatim, which is what makes a
-// cache hit byte-identical to the first response.
-func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string, compute func(ctx context.Context) ([]byte, error)) {
+// cache hit byte-identical to the first response. A non-nil rt wraps the
+// cache lookup, the admission wait and the engine execution in spans;
+// the collected spans leave in the X-Trace-Spans header, so the body
+// bytes — and with them the cache identity — are untouched by tracing.
+func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string, rt *requestTrace, compute func(ctx context.Context) ([]byte, error)) {
+	cacheSpan := rt.child("cache")
 	e, leader := s.cache.begin(key)
 	switch {
 	case leader:
 		s.cacheMiss.Inc()
+		cacheSpan.SetAttr("outcome", "miss")
 	case e.done():
 		s.cacheHit.Inc()
+		cacheSpan.SetAttr("outcome", "hit")
 	default:
 		s.cacheJoin.Inc()
+		cacheSpan.SetAttr("outcome", "join")
 	}
+	s.updateHitRatio()
 
 	if leader {
+		// A miss's cache interaction ends here; the rest of the request
+		// is admission + engine.
+		cacheSpan.End()
 		var payload []byte
 		err := func() error {
+			adm := rt.child("admission")
+			adm.SetInt("queue_depth", int64(len(s.queued)))
 			release, err := s.acquire(r.Context())
+			adm.End()
 			if err != nil {
 				return err
 			}
 			defer release()
 			ctx, cancel := context.WithTimeout(r.Context(), s.opts.Timeout)
 			defer cancel()
+			eng := rt.child("engine")
+			// Phase spans emitted inside the engine/experiment parent
+			// under the engine span from here on.
+			rt.setParent(eng.Context())
 			payload, err = compute(ctx)
+			if err != nil {
+				eng.SetAttr("error", err.Error())
+			}
+			eng.End()
 			return err
 		}()
 		envelope, merr := json.Marshal(response{Digest: key, Result: payload})
@@ -392,9 +438,15 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string,
 		s.cacheSize.Set(float64(s.cache.len()))
 		s.cacheBytes.Set(float64(s.cache.bytesUsed()))
 	} else {
+		// Hit: e.ready is already closed and the span ends immediately.
+		// Join: the span covers the single-flight wait on the leader.
 		select {
 		case <-e.ready:
+			cacheSpan.End()
 		case <-r.Context().Done():
+			cacheSpan.SetAttr("error", r.Context().Err().Error())
+			cacheSpan.End()
+			rt.attach(w.Header())
 			s.writeError(w, http.StatusServiceUnavailable, r.Context().Err())
 			return
 		}
@@ -405,6 +457,7 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string,
 		if code == http.StatusTooManyRequests {
 			s.rejected["overload"].Inc()
 		}
+		rt.attach(w.Header())
 		s.writeError(w, code, e.err)
 		return
 	}
@@ -415,7 +468,18 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string,
 	} else {
 		w.Header().Set("X-Cache", "hit")
 	}
+	rt.attach(w.Header())
 	w.Write(e.result)
+}
+
+// updateHitRatio refreshes the easerve_cache_hit_ratio gauge from the
+// lookup counters: hits and joins both avoided a fresh engine run.
+func (s *Server) updateHitRatio() {
+	hit := s.cacheHit.Value() + s.cacheJoin.Value()
+	total := hit + s.cacheMiss.Value()
+	if total > 0 {
+		s.hitRatio.Set(hit / total)
+	}
 }
 
 // handleSim serves POST /v1/sim: body = an eadvfs.Config (the same JSON a
@@ -423,7 +487,11 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string,
 // schema-v1 event log instead of returning a (cached) result.
 func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
-	defer func() { s.latency["sim"].Observe(time.Since(start).Seconds()) }()
+	defer func() {
+		sec := time.Since(start).Seconds()
+		s.latency["sim"].Observe(sec)
+		s.durations["sim"].Observe(sec)
+	}()
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
 		s.writeError(w, http.StatusMethodNotAllowed, errors.New("POST a simulation config"))
@@ -449,7 +517,14 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := digest.Compact(canonical)
-	s.serveCached(w, r, key, func(ctx context.Context) ([]byte, error) {
+	// A traced request hands the collector to the engine as its probe, so
+	// the run's plan/simulate phase spans join the request trace. Probe is
+	// excluded from the JSON form, so the digest above is unaffected.
+	rt := s.beginTrace(r, "sim")
+	if rt != nil {
+		cfg.Probe = rt
+	}
+	s.serveCached(w, r, key, rt, func(ctx context.Context) ([]byte, error) {
 		var res *eadvfs.Result
 		err := experiment.RunHardened(func() error {
 			var err error
@@ -518,7 +593,11 @@ func (s *Server) streamSimEvents(w http.ResponseWriter, r *http.Request, cfg ead
 // queue's accounting.
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
-	defer func() { s.latency["sweep"].Observe(time.Since(start).Seconds()) }()
+	defer func() {
+		sec := time.Since(start).Seconds()
+		s.latency["sweep"].Observe(sec)
+		s.durations["sweep"].Observe(sec)
+	}()
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
 		s.writeError(w, http.StatusMethodNotAllowed, errors.New("POST a sweep request"))
@@ -561,10 +640,18 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := digest.Compact(canonical)
-	// The registry attachment is an observer, excluded from the JSON form,
-	// so it cannot perturb the digest computed above.
+	// The registry and span-sink attachments are observers, excluded from
+	// the JSON form, so they cannot perturb the digest computed above. A
+	// traced sweep collects the experiment-level phase spans (plan /
+	// realize-solar / simulate / aggregate) — deliberately not the
+	// per-run engine spans, which would mean thousands of spans for one
+	// response header.
 	req.Spec.Metrics = s.reg
-	s.serveCached(w, r, key, func(ctx context.Context) ([]byte, error) {
+	rt := s.beginTrace(r, "sweep")
+	if rt != nil {
+		req.Spec.Spans = rt
+	}
+	s.serveCached(w, r, key, rt, func(ctx context.Context) ([]byte, error) {
 		var out any
 		var err error
 		switch {
@@ -626,13 +713,40 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleHealthz reports liveness, flipping to 503 while draining so load
-// balancers stop routing new work during a rolling restart.
+// balancers stop routing new work during a rolling restart. Load is
+// surfaced in headers — the body stays "ok" for existing probes — so a
+// placement-aware coordinator can weight workers by queue depth
+// (ROADMAP item 1) from the health probe it already sends.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("X-Queue-Depth", strconv.Itoa(len(s.queued)))
+	w.Header().Set("X-Inflight", strconv.Itoa(len(s.slots)))
+	w.Header().Set("X-Worker-Slots", strconv.Itoa(cap(s.slots)))
 	if s.draining.Load() {
 		http.Error(w, "draining", http.StatusServiceUnavailable)
 		return
 	}
 	fmt.Fprintln(w, "ok")
+}
+
+// handleFlight dumps the flight recorder: the most recent spans and
+// decision audits this worker saw, as one JSON document. 404 when the
+// recorder is disabled.
+func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
+	if s.flight == nil {
+		http.Error(w, "flight recorder disabled", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.flight.Snapshot())
+}
+
+// FlightSnapshot returns the flight recorder's current contents; ok is
+// false when the recorder is disabled. cmd/easerve dumps this on SIGQUIT.
+func (s *Server) FlightSnapshot() (obs.FlightDump, bool) {
+	if s.flight == nil {
+		return obs.FlightDump{}, false
+	}
+	return s.flight.Snapshot(), true
 }
 
 // handleVersion reports the build identity (internal/buildinfo), the same

@@ -1,0 +1,119 @@
+package service
+
+// Per-request tracing (DESIGN.md §15). A request that arrives with a
+// valid W3C traceparent header is traced: the server opens a root span
+// for the request and child spans for admission (queue wait), the cache
+// lookup (hit / miss / single-flight wait) and engine execution, and the
+// engine/experiment phase spans ride the same collector through the
+// existing Probe plumbing. All collected spans are returned to the
+// caller in the X-Trace-Spans response header — never in the body, which
+// stays byte-identical to the untraced response — and mirrored into the
+// server's flight recorder. Requests without (or with a malformed)
+// traceparent are served exactly as before: no collector is allocated
+// and every span call site is a nil no-op.
+
+import (
+	"net/http"
+	"sync"
+
+	"github.com/eadvfs/eadvfs/internal/obs"
+)
+
+// requestTrace collects the spans of one traced request. It implements
+// obs.SpanSink (collect), obs.Probe (feed decision audits to the flight
+// recorder) and obs.TraceCarrier (parent engine-emitted phase spans
+// under the request's engine span), so it can be handed directly to
+// sim.Config.Probe / experiment.Spec.Spans.
+type requestTrace struct {
+	flight *obs.FlightRecorder // nil when the server has no recorder
+
+	mu     sync.Mutex
+	parent obs.SpanContext // current parent for engine phase spans
+	spans  []obs.Span
+	root   *obs.ActiveSpan
+}
+
+// beginTrace starts a request trace when r carries a valid traceparent;
+// otherwise it returns nil and the request runs untraced. The root span
+// is named after the endpoint and parented under the remote caller.
+func (s *Server) beginTrace(r *http.Request, endpoint string) *requestTrace {
+	remote, err := obs.ParseTraceparent(r.Header.Get("traceparent"))
+	if err != nil {
+		return nil
+	}
+	rt := &requestTrace{flight: s.flight}
+	rt.root = obs.StartSpan(rt, "easerve", "request:"+endpoint, remote)
+	return rt
+}
+
+// OnSpan implements obs.SpanSink.
+func (rt *requestTrace) OnSpan(sp obs.Span) {
+	rt.mu.Lock()
+	rt.spans = append(rt.spans, sp)
+	rt.mu.Unlock()
+	if rt.flight != nil {
+		rt.flight.OnSpan(sp)
+	}
+}
+
+// OnEvent implements obs.Probe. Engine events are high-volume and belong
+// to the JSONL stream; a traced request does not retain them.
+func (rt *requestTrace) OnEvent(obs.Event) {}
+
+// OnDecision implements obs.Probe: scheduler decision audits of traced
+// requests land in the flight recorder alongside the spans.
+func (rt *requestTrace) OnDecision(d obs.DecisionRecord) {
+	if rt.flight != nil {
+		rt.flight.OnDecision(d)
+	}
+}
+
+// TraceParent implements obs.TraceCarrier: the engine parent set by
+// setParent (the request's engine span), or the root span before that.
+func (rt *requestTrace) TraceParent() obs.SpanContext {
+	if rt == nil {
+		return obs.SpanContext{}
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.parent.Valid() {
+		return rt.parent
+	}
+	return rt.root.Context()
+}
+
+// setParent re-parents subsequently emitted engine phase spans.
+func (rt *requestTrace) setParent(sc obs.SpanContext) {
+	if rt == nil {
+		return
+	}
+	rt.mu.Lock()
+	rt.parent = sc
+	rt.mu.Unlock()
+}
+
+// child starts a span under the request's root. Nil-safe: a nil
+// *requestTrace yields a nil *ActiveSpan whose methods are no-ops.
+func (rt *requestTrace) child(name string) *obs.ActiveSpan {
+	if rt == nil {
+		return nil
+	}
+	return obs.StartSpan(rt, "easerve", name, rt.root.Context())
+}
+
+// attach ends the root span and writes every collected span into the
+// X-Trace-Spans response header. Must run before the first body byte
+// (headers are immutable after that); nil-safe.
+func (rt *requestTrace) attach(h http.Header) {
+	if rt == nil {
+		return
+	}
+	rt.root.End()
+	rt.mu.Lock()
+	spans := rt.spans
+	rt.spans = nil
+	rt.mu.Unlock()
+	if v := obs.EncodeSpanHeader(spans); v != "" {
+		h.Set(obs.SpanHeader, v)
+	}
+}

@@ -1,0 +1,232 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"github.com/eadvfs/eadvfs/internal/obs"
+)
+
+// postTraced posts body with a fresh traceparent header; returns the
+// response and the context that was propagated.
+func postTraced(t *testing.T, ts *httptest.Server, path string, body any) (*http.Response, obs.SpanContext) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := obs.SpanContext{Trace: obs.NewTraceID(), Span: obs.NewSpanID(), Sampled: true}
+	req, err := http.NewRequest(http.MethodPost, ts.URL+path, bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("traceparent", sc.Traceparent())
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, sc
+}
+
+// A traced /v1/sim request must return its worker-side spans in the
+// X-Trace-Spans header, all under the caller's trace ID and rooted at the
+// caller's span — and the response body must stay byte-identical to an
+// untraced request for the same config (tracing must not perturb the
+// cache identity).
+func TestTracedSimRequest(t *testing.T) {
+	s := New(Options{Workers: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, sc := postTraced(t, ts, "/v1/sim", smallConfig())
+	tracedBody := readBody(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, tracedBody)
+	}
+	spans, err := obs.DecodeSpanHeader(resp.Header.Get(obs.SpanHeader))
+	if err != nil {
+		t.Fatalf("decoding %s: %v", obs.SpanHeader, err)
+	}
+	if len(spans) == 0 {
+		t.Fatal("traced request returned no spans")
+	}
+	names := map[string]int{}
+	var root *obs.Span
+	for i, sp := range spans {
+		if sp.Trace != sc.Trace {
+			t.Fatalf("span %s has trace %s, want propagated %s", sp.Name, sp.Trace, sc.Trace)
+		}
+		names[sp.Name]++
+		if sp.Parent == sc.Span {
+			root = &spans[i]
+		}
+	}
+	if root == nil {
+		t.Fatalf("no span parented under the caller's context; got %+v", names)
+	}
+	if root.Name != "request:sim" {
+		t.Fatalf("root span %q, want request:sim", root.Name)
+	}
+	for _, want := range []string{"admission", "cache", "engine"} {
+		if names[want] == 0 {
+			t.Fatalf("missing %q span; got %v", want, names)
+		}
+	}
+	// Engine phase spans from the sim layer ride along too.
+	if names["plan"] == 0 || names["simulate"] == 0 {
+		t.Fatalf("missing sim phase spans; got %v", names)
+	}
+
+	// Byte-identity: an untraced request for the same config must produce
+	// the same body and no span header.
+	plain := postJSON(t, ts, "/v1/sim", smallConfig())
+	plainBody := readBody(t, plain)
+	if plain.Header.Get(obs.SpanHeader) != "" {
+		t.Fatal("untraced request returned a span header")
+	}
+	if !bytes.Equal(tracedBody, plainBody) {
+		t.Fatal("traced and untraced bodies differ")
+	}
+
+	// A cache hit on a traced request reports outcome hit/join.
+	resp2, _ := postTraced(t, ts, "/v1/sim", smallConfig())
+	body2 := readBody(t, resp2)
+	if !bytes.Equal(body2, tracedBody) {
+		t.Fatal("cache hit body differs")
+	}
+	spans2, err := obs.DecodeSpanHeader(resp2.Header.Get(obs.SpanHeader))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit := false
+	for _, sp := range spans2 {
+		if sp.Name == "cache" && (sp.Attrs["outcome"] == "hit" || sp.Attrs["outcome"] == "join") {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Fatalf("repeat traced request did not record a cache hit: %+v", spans2)
+	}
+}
+
+// A malformed traceparent must not break the request — it is served
+// untraced, with no span header.
+func TestMalformedTraceparentIgnored(t *testing.T) {
+	s := New(Options{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	raw, _ := json.Marshal(smallConfig())
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/sim", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("traceparent", "00-NOT-A-VALID-HEADER")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readBody(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get(obs.SpanHeader) != "" {
+		t.Fatal("malformed traceparent still produced spans")
+	}
+}
+
+// The flight recorder retains traced spans and serves them on
+// /debug/flight; disabling it turns the endpoint into a 404.
+func TestFlightRecorderEndpoint(t *testing.T) {
+	s := New(Options{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, sc := postTraced(t, ts, "/v1/sim", smallConfig())
+	readBody(t, resp)
+
+	fr, err := http.Get(ts.URL + "/debug/flight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	frBody := readBody(t, fr)
+	if fr.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/flight status %d", fr.StatusCode)
+	}
+	var dump obs.FlightDump
+	if err := json.Unmarshal(frBody, &dump); err != nil {
+		t.Fatalf("flight dump not JSON: %v\n%s", err, frBody)
+	}
+	if dump.SpansTotal == 0 || len(dump.Spans) == 0 {
+		t.Fatalf("flight recorder empty after traced request: %+v", dump)
+	}
+	found := false
+	for _, sp := range dump.Spans {
+		if sp.Trace == sc.Trace {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("traced request's spans missing from flight recorder")
+	}
+	if snap, ok := s.FlightSnapshot(); !ok || snap.SpansTotal != dump.SpansTotal {
+		t.Fatalf("FlightSnapshot disagrees with /debug/flight: %+v vs %+v", snap, dump)
+	}
+
+	off := New(Options{Workers: 1, FlightSpans: -1, FlightDecisions: -1})
+	tsOff := httptest.NewServer(off.Handler())
+	defer tsOff.Close()
+	fr2, err := http.Get(tsOff.URL + "/debug/flight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	readBody(t, fr2)
+	if fr2.StatusCode != http.StatusNotFound {
+		t.Fatalf("disabled flight recorder: status %d, want 404", fr2.StatusCode)
+	}
+	if _, ok := off.FlightSnapshot(); ok {
+		t.Fatal("disabled recorder still snapshots")
+	}
+}
+
+// The hit-ratio gauge and per-endpoint duration histograms must appear in
+// /metrics, and /healthz must expose queue-depth headers.
+func TestServiceObservabilitySurfaces(t *testing.T) {
+	s := New(Options{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	readBody(t, postJSON(t, ts, "/v1/sim", smallConfig())) // miss
+	readBody(t, postJSON(t, ts, "/v1/sim", smallConfig())) // hit
+
+	metrics := metricsText(t, ts)
+	for _, want := range []string{
+		"easerve_cache_hit_ratio 0.5",
+		`easerve_request_duration_seconds_count{endpoint="sim"} 2`,
+		`easerve_request_duration_seconds_bucket{endpoint="sim",`,
+	} {
+		if !contains(metrics, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
+	hz, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readBody(t, hz)
+	if string(body) != "ok\n" && string(body) != "ok" {
+		t.Fatalf("healthz body %q", body)
+	}
+	for _, h := range []string{"X-Queue-Depth", "X-Inflight", "X-Worker-Slots"} {
+		if hz.Header.Get(h) == "" {
+			t.Fatalf("healthz missing %s header; got %+v", h, hz.Header)
+		}
+	}
+}
+
+func contains(s, sub string) bool { return bytes.Contains([]byte(s), []byte(sub)) }

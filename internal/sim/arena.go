@@ -8,6 +8,7 @@ import (
 	"github.com/eadvfs/eadvfs/internal/des"
 	"github.com/eadvfs/eadvfs/internal/fault"
 	"github.com/eadvfs/eadvfs/internal/metrics"
+	"github.com/eadvfs/eadvfs/internal/obs"
 	"github.com/eadvfs/eadvfs/internal/rng"
 	"github.com/eadvfs/eadvfs/internal/task"
 )
@@ -89,6 +90,28 @@ func (a *Arena) Run(cfg *Config) (*Result, error) {
 		return nil, err
 	}
 
+	// Tracing rides the existing probe plumbing: a Probe that is also a
+	// SpanSink receives wall-clock phase spans ("plan", "simulate") with
+	// sim-time boundaries in the attributes, parented under whatever span
+	// the probe carries (obs.TraceCarrier — the service's per-request
+	// engine span). Tracing engages only when BOTH capabilities are
+	// present: a sink to write to and a valid parent context proving a
+	// trace is actually in progress. A sink without a trace (a bare
+	// JSONLWriter probe recording a deterministic event stream) must not
+	// have randomized span lines injected into it. A plain probe, or
+	// none, costs two type assertions and no allocation: StartSpan on a
+	// nil sink returns a nil *ActiveSpan whose methods are all no-ops.
+	var trace obs.SpanSink
+	var traceParent obs.SpanContext
+	if cfg.Probe != nil {
+		if ss, ok := cfg.Probe.(obs.SpanSink); ok {
+			if parent := obs.SpanParentOf(cfg.Probe); parent.Valid() {
+				trace = ss
+				traceParent = parent
+			}
+		}
+	}
+
 	// Materialize the per-run fault set and interpose its wrappers on a
 	// shallow copy, leaving the caller's Config untouched. A disabled (or
 	// nil) fault spec yields a nil set: every path below degrades to the
@@ -146,7 +169,11 @@ func (a *Arena) Run(cfg *Config) (*Result, error) {
 		e.res.EnergySeries.Values[0] = cfg.Store.Level()
 	}
 
+	planSpan := obs.StartSpan(trace, "sim", "plan", traceParent)
 	e.release = a.releaseJobs(cfg)
+	planSpan.SetInt("jobs", int64(len(e.release)))
+	planSpan.SetFloat("horizon", cfg.Horizon)
+	planSpan.End()
 
 	// Unit-boundary chain: predictor observation + energy sampling.
 	e.nextBoundary = math.Inf(1)
@@ -156,8 +183,12 @@ func (a *Arena) Run(cfg *Config) (*Result, error) {
 	e.segTime = math.Inf(1)
 	e.deadlineFn = e.onDeadlineArg
 
+	simSpan := obs.StartSpan(trace, "sim", "simulate", traceParent)
+	simSpan.SetFloat("sim_start", 0)
 	e.requestDecide(0)
 	if err := e.dispatch(); err != nil {
+		simSpan.SetAttr("error", err.Error())
+		simSpan.End()
 		return nil, err
 	}
 
@@ -179,6 +210,9 @@ func (a *Arena) Run(cfg *Config) (*Result, error) {
 	e.res.FinalLevel = cfg.Store.Level()
 	e.res.Events = e.dispatched
 	e.res.ConservationErr = cfg.Store.ConservationError(e.initialLevel)
+	simSpan.SetFloat("sim_end", end)
+	simSpan.SetInt("events", int64(e.dispatched))
+	simSpan.End()
 	if err := e.res.Miss.Check(); err != nil {
 		if e.inv == nil {
 			return nil, err
