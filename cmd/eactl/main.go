@@ -12,7 +12,7 @@
 //	      [-shards-per-worker 2] [-max-attempts 4] [-timeout 120s]
 //	      [-hedge-after 2s] [-allow-partial] [-o out.json]
 //	      [-metrics-out metrics.prom] [-trace-out trace.jsonl]
-//	      [-verbose] [-version]
+//	      [-capabilities] [-verbose] [-version]
 //
 // With -local the sweep runs in-process instead of on a fleet and writes
 // the identical bytes — the single-node reference a distributed run can
@@ -29,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -66,15 +67,22 @@ func main() {
 		hedgeAfter      = flag.Duration("hedge-after", 2*time.Second, "race a second worker after this straggler delay (negative disables)")
 		allowPartial    = flag.Bool("allow-partial", false, "degrade to a partial aggregate when shards exhaust retries")
 
-		out        = flag.String("o", "", "write the result JSON here (default stdout)")
-		metricsOut = flag.String("metrics-out", "", "write fabric metrics (Prometheus text) here")
-		traceOut   = flag.String("trace-out", "", "write the sweep's spans (schema v1.1 JSONL) here")
-		verbose    = flag.Bool("verbose", false, "log retries, hedges and breaker events to stderr")
-		version    = flag.Bool("version", false, "print build information and exit")
+		out          = flag.String("o", "", "write the result JSON here (default stdout)")
+		metricsOut   = flag.String("metrics-out", "", "write fabric metrics (Prometheus text) here")
+		traceOut     = flag.String("trace-out", "", "write the sweep's spans (schema v1.1 JSONL) here")
+		capabilities = flag.Bool("capabilities", false, "print each worker's GET /v1/capabilities document and exit")
+		verbose      = flag.Bool("verbose", false, "log retries, hedges and breaker events to stderr")
+		version      = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
 	if *version {
 		fmt.Println(buildinfo.Line("eactl"))
+		return
+	}
+	if *capabilities {
+		if err := printCapabilities(os.Stdout, splitList(*workersFlag), *timeout); err != nil {
+			fatal(err)
+		}
 		return
 	}
 
@@ -266,6 +274,34 @@ func writeMetrics(path string, reg *obs.Registry) error {
 		err = cerr
 	}
 	return err
+}
+
+// printCapabilities fetches and prints each worker's capability document
+// (GET /v1/capabilities): what policies, sources, predictors and task
+// models — with which parameter schemas — each build supports. Identical
+// builds serve byte-identical documents, so the output doubles as a
+// fleet-homogeneity check before planning a sweep.
+func printCapabilities(w io.Writer, workers []string, timeout time.Duration) error {
+	if len(workers) == 0 {
+		return fmt.Errorf("-capabilities needs -workers")
+	}
+	client := &http.Client{Timeout: timeout}
+	for _, base := range workers {
+		resp, err := client.Get(strings.TrimRight(base, "/") + "/v1/capabilities")
+		if err != nil {
+			return fmt.Errorf("worker %s: %w", base, err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return fmt.Errorf("worker %s: %w", base, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("worker %s: %s: %s", base, resp.Status, strings.TrimSpace(string(body)))
+		}
+		fmt.Fprintf(w, "%s\t%s", base, body)
+	}
+	return nil
 }
 
 func writeOut(path string, payload []byte) error {

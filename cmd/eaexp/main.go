@@ -303,8 +303,10 @@ func main() {
 		return writeCSV(*csv, "robustness.csv", b.String())
 	})
 	runOnly("sens-predictors", func() error {
+		// Every registered predictor, enumerated rather than hardcoded: a
+		// freshly registered predictor joins the sensitivity sweep for free.
 		res, err := experiment.PredictorSweep(spec,
-			[]string{"oracle", "ewma", "slot-ewma", "wcma", "moving-average", "last-value", "zero"},
+			experiment.PredictorNames(),
 			[]string{"lsa", "ea-dvfs"})
 		if err != nil {
 			return err

@@ -34,6 +34,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"github.com/eadvfs/eadvfs"
 	"github.com/eadvfs/eadvfs/internal/analysis"
@@ -46,8 +47,8 @@ import (
 
 func main() {
 	var (
-		policy     = flag.String("policy", "ea-dvfs", "scheduling policy: ea-dvfs, ea-dvfs-dynamic, lsa, edf, static-dvfs, greedy-stretch")
-		predictor  = flag.String("predictor", "ewma", "harvest predictor: ewma, oracle, slot-ewma, wcma, moving-average, last-value, zero")
+		policy     = flag.String("policy", "ea-dvfs", "scheduling policy: "+strings.Join(eadvfs.Policies(), ", "))
+		predictor  = flag.String("predictor", "ewma", "harvest predictor: "+strings.Join(eadvfs.Predictors(), ", "))
 		u          = flag.Float64("u", 0.4, "target utilization of the generated task set")
 		numTasks   = flag.Int("tasks", 5, "number of periodic tasks")
 		capacity   = flag.Float64("capacity", 1000, "energy storage capacity")

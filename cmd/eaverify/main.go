@@ -6,15 +6,17 @@
 //
 // Usage:
 //
-//	eaverify [-n 200] [-seed 1] [-spec spec.json] [-no-minimize]
+//	eaverify [-n 200] [-seed 1] [-quick] [-spec spec.json] [-no-minimize]
 //	         [-spec-out min.json]
 //	         [-inject-bias 0] [-inject-after 0] [-version]
 //
-// Without -spec, eaverify sweeps n random configurations starting at the
-// given seed — the same generator the `go test ./internal/verify` sweep
-// uses, so a seed printed by a failing test reproduces here verbatim.
-// With -spec, it replays one configuration from a JSON file (the format
-// it writes with -spec-out).
+// Without -spec, eaverify auto-enumerates the scenario registry
+// (internal/registry) and sweeps n random configurations per registered
+// policy starting at the given seed — the same generator the
+// `go test ./internal/verify` sweep uses, so a seed printed by a failing
+// test reproduces here verbatim. -quick caps the sweep at a CI-friendly
+// size. With -spec, it replays one configuration from a JSON file (the
+// format it writes with -spec-out).
 //
 // -inject-bias perturbs the optimized side's energy predictions by the
 // given amount (from -inject-after onward), deliberately fabricating a
@@ -37,8 +39,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"github.com/eadvfs/eadvfs/internal/buildinfo"
+	"github.com/eadvfs/eadvfs/internal/registry"
 	"github.com/eadvfs/eadvfs/internal/verify"
 )
 
@@ -52,7 +56,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("eaverify", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		n           = fs.Int("n", 200, "number of random configurations to sweep")
+		n           = fs.Int("n", 200, "number of random configurations to sweep per registered policy")
+		quick       = fs.Bool("quick", false, "CI-sized sweep (forces -n 25)")
 		seed        = fs.Uint64("seed", 1, "first generator seed of the sweep")
 		specPath    = fs.String("spec", "", "replay one configuration from a JSON spec file instead of sweeping")
 		specOut     = fs.String("spec-out", "", "write the (minimized, if diverging) spec to this JSON file")
@@ -78,8 +83,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		specs = append(specs, s)
 	} else {
-		for i := 0; i < *n; i++ {
-			specs = append(specs, verify.RandomSpec(*seed+uint64(i)))
+		// Auto-enumerate the registry: every registered policy — built-in
+		// or linked in from an out-of-tree scenario package — is swept
+		// against the reference engine with the same per-seed scenario
+		// material, so a new registration cannot land uncovered.
+		perPolicy := *n
+		if *quick {
+			perPolicy = 25
+		}
+		policies := registry.PolicyNames()
+		fmt.Fprintf(stdout, "sweeping %d registered policies: %s\n",
+			len(policies), strings.Join(policies, ", "))
+		for i := 0; i < perPolicy; i++ {
+			for _, policy := range policies {
+				specs = append(specs, verify.RandomSpecForPolicy(*seed+uint64(i), policy))
+			}
 		}
 	}
 

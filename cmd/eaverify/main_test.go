@@ -3,24 +3,53 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"github.com/eadvfs/eadvfs/internal/registry"
 	"github.com/eadvfs/eadvfs/internal/verify"
 )
 
 // TestCleanSweep: a small sweep of healthy seeds exits 0 and reports the
-// count it checked.
+// count it checked — n configurations per registered policy, since the
+// sweep auto-enumerates the registry.
 func TestCleanSweep(t *testing.T) {
 	var out, errb bytes.Buffer
 	code := run([]string{"-n", "5", "-seed", "1"}, &out, &errb)
 	if code != 0 {
 		t.Fatalf("exit %d, stderr: %s stdout: %s", code, errb.String(), out.String())
 	}
-	if !strings.Contains(out.String(), "OK: 5 configuration(s)") {
-		t.Fatalf("unexpected output: %s", out.String())
+	want := fmt.Sprintf("OK: %d configuration(s)", 5*len(registry.PolicyNames()))
+	if !strings.Contains(out.String(), want) {
+		t.Fatalf("output missing %q: %s", want, out.String())
+	}
+}
+
+// TestSweepCoversEveryRegisteredPolicy: the sweep header must name every
+// registered policy — the smoke-level proof that auto-enumeration is
+// wired to the registry rather than a hardcoded list.
+func TestSweepCoversEveryRegisteredPolicy(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-quick", "-n", "1"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s stdout: %s", code, errb.String(), out.String())
+	}
+	names := registry.PolicyNames()
+	if len(names) == 0 {
+		t.Fatal("registry enumerates no policies")
+	}
+	for _, name := range names {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("sweep output does not mention registered policy %q:\n%s", name, out.String())
+		}
+	}
+	// -quick pins the per-policy count, so the total is len(names)*25.
+	want := fmt.Sprintf("OK: %d configuration(s)", 25*len(names))
+	if !strings.Contains(out.String(), want) {
+		t.Fatalf("output missing %q: %s", want, out.String())
 	}
 }
 

@@ -27,8 +27,10 @@ import (
 	"github.com/eadvfs/eadvfs/internal/experiment"
 	"github.com/eadvfs/eadvfs/internal/fault"
 	"github.com/eadvfs/eadvfs/internal/obs"
+	"github.com/eadvfs/eadvfs/internal/registry"
 	"github.com/eadvfs/eadvfs/internal/rng"
 	"github.com/eadvfs/eadvfs/internal/sim"
+	"github.com/eadvfs/eadvfs/internal/spec"
 	"github.com/eadvfs/eadvfs/internal/storage"
 	"github.com/eadvfs/eadvfs/internal/task"
 )
@@ -54,11 +56,29 @@ type Task struct {
 // Config describes one simulation. Zero values take the documented
 // defaults.
 type Config struct {
+	// Schema declares the JSON schema version of a serialized config:
+	// 0 or 1 mean the original unversioned v1 wire form, 2 the current
+	// one. Documents using the v2-only members (PolicyParams, TaskModel,
+	// TaskParams) must declare 2. The member is excluded from the
+	// config's digest identity — internal/spec owns the migration and
+	// digest-stability contract (DESIGN.md §16). New fields here are
+	// omitempty and appended without reordering the originals: the
+	// canonical marshal of every v1 config, and with it every cached
+	// digest, must stay byte-stable.
+	Schema int `json:"schema,omitempty"`
+
 	// Horizon is the simulated duration (default 10 000, the paper's).
 	Horizon float64
 
-	// Policy selects the scheduler (default "ea-dvfs").
+	// Policy selects the scheduler (default "ea-dvfs"). Names resolve
+	// through the scenario registry — Policies() enumerates them, and
+	// RegisterPolicy adds new ones.
 	Policy string
+
+	// PolicyParams carries the policy's schema-declared parameters
+	// (e.g. {"utilization": 0.5} for static-dvfs); unset parameters
+	// take their registered defaults. Requires Schema 2 on the wire.
+	PolicyParams map[string]any `json:"policy_params,omitempty"`
 
 	// Predictor selects the harvest predictor: "ewma" (default),
 	// "oracle", "slot-ewma", "moving-average", "last-value", "zero".
@@ -83,6 +103,13 @@ type Config struct {
 	// (defaults 5 and 0.4).
 	NumTasks    int
 	Utilization float64
+
+	// TaskModel names the registered workload generator used when Tasks
+	// is empty ("" means "periodic", the paper's §5.1 recipe), and
+	// TaskParams carries its schema-declared parameters. Both require
+	// Schema 2 on the wire.
+	TaskModel  string         `json:"task_model,omitempty"`
+	TaskParams map[string]any `json:"task_params,omitempty"`
 
 	// Seed drives the workload generator and the solar sample path
 	// (default 1).
@@ -211,31 +238,34 @@ func Run(userCfg Config) (*Result, error) {
 func RunContext(ctx context.Context, userCfg Config) (*Result, error) {
 	cfg := userCfg.withDefaults()
 
+	if cfg.Schema < 0 || cfg.Schema > spec.Current {
+		return nil, fmt.Errorf("eadvfs: unsupported schema version %d (max %d)", cfg.Schema, spec.Current)
+	}
+
 	proc := cpu.XScaleScaled(cfg.PMax)
 
+	// Resolve the energy source through the scenario registry: the
+	// facade's convenience fields name the registered kinds.
 	var src energy.Source
+	var srcErr error
 	switch {
 	case cfg.ConstantHarvest != nil && len(cfg.HarvestTrace) > 0:
 		return nil, errors.New("eadvfs: ConstantHarvest and HarvestTrace are mutually exclusive")
 	case cfg.ConstantHarvest != nil:
-		c, err := energy.NewConstantChecked(*cfg.ConstantHarvest)
-		if err != nil {
-			return nil, fmt.Errorf("eadvfs: %w", err)
-		}
-		src = c
+		src, srcErr = buildSource("constant", registry.Params{"power": *cfg.ConstantHarvest})
 	case len(cfg.HarvestTrace) > 0:
-		tr, err := energy.NewTraceChecked("user", cfg.HarvestTrace)
-		if err != nil {
-			return nil, fmt.Errorf("eadvfs: %w", err)
-		}
-		src = tr
+		src, srcErr = buildSource("trace", registry.Params{"samples": cfg.HarvestTrace, "label": "user"})
 	default:
-		src = energy.NewSolarModel(cfg.Seed)
+		src, srcErr = buildSource("solar", registry.Params{"seed": cfg.Seed})
+	}
+	if srcErr != nil {
+		return nil, fmt.Errorf("eadvfs: %w", srcErr)
 	}
 
-	// Resolve through the spec-aware registry so "static-dvfs" derives
-	// its fixed operating point from the configured utilization.
-	pf, err := experiment.Spec{Utilization: cfg.Utilization}.PolicyFor(cfg.Policy)
+	// Resolve the policy and predictor through the registry; the spec
+	// context binds "static-dvfs" to the configured utilization unless
+	// PolicyParams pins one explicitly.
+	pf, err := experiment.PolicyParams(cfg.Policy, cfg.PolicyParams, experiment.Spec{Utilization: cfg.Utilization})
 	if err != nil {
 		return nil, err
 	}
@@ -321,21 +351,33 @@ func RunContext(ctx context.Context, userCfg Config) (*Result, error) {
 	return out, nil
 }
 
+// buildSource resolves and constructs a registered energy source.
+func buildSource(kind string, p registry.Params) (energy.Source, error) {
+	def, err := registry.Source(kind)
+	if err != nil {
+		return nil, err
+	}
+	return def.Build(p)
+}
+
 func buildTasks(cfg Config, src energy.Source, proc *cpu.Processor) ([]task.Task, error) {
 	if len(cfg.Tasks) == 0 {
-		gcfg := task.GeneratorConfig{
+		model, err := registry.TaskModel(cfg.TaskModel)
+		if err != nil {
+			return nil, err
+		}
+		gen := registry.TaskGen{
 			NumTasks:         cfg.NumTasks,
-			Periods:          task.PaperPeriods(),
+			TargetU:          cfg.Utilization,
 			MeanHarvestPower: src.MeanPower(),
 			PMax:             proc.MaxPower(),
-			TargetU:          cfg.Utilization,
 		}
-		if gcfg.MeanHarvestPower <= 0 {
+		if gen.MeanHarvestPower <= 0 {
 			// A zero-power source cannot parameterize the generator;
 			// fall back to the paper's solar mean.
-			gcfg.MeanHarvestPower = energy.NewSolarModel(0).MeanPower()
+			gen.MeanHarvestPower = energy.NewSolarModel(0).MeanPower()
 		}
-		return task.Generate(gcfg, rng.New(cfg.Seed))
+		return model.Build(gen, registry.Params(cfg.TaskParams), rng.New(cfg.Seed))
 	}
 	out := make([]task.Task, len(cfg.Tasks))
 	for i, t := range cfg.Tasks {
@@ -374,12 +416,51 @@ func Compare(cfg Config, policies ...string) (map[string]*Result, error) {
 	return out, nil
 }
 
-// Policies lists the available policy names.
-func Policies() []string {
-	return []string{"ea-dvfs", "ea-dvfs-dynamic", "lsa", "edf", "static-dvfs", "greedy-stretch"}
-}
+// Policies lists the registered policy names in registration order.
+func Policies() []string { return registry.PolicyNames() }
 
-// Predictors lists the available predictor names.
-func Predictors() []string {
-	return []string{"ewma", "oracle", "slot-ewma", "wcma", "moving-average", "last-value", "zero"}
-}
+// Predictors lists the registered predictor names in registration order.
+func Predictors() []string { return registry.PredictorNames() }
+
+// Sources lists the registered energy-source kinds in registration order.
+func Sources() []string { return registry.SourceNames() }
+
+// TaskModels lists the registered task-model names in registration order.
+func TaskModels() []string { return registry.TaskModelNames() }
+
+// The scenario registry, re-exported so external scenario packages can
+// register policies, sources, predictors and task models against the
+// facade without importing internal packages. A registration is
+// self-describing (name, help, parameter schema) and immediately
+// resolvable everywhere names are accepted: this Config, the CLIs, the
+// HTTP service — and the differential-verification harness, which
+// auto-sweeps every registered policy against the reference engine
+// (DESIGN.md §16).
+type (
+	// PolicyDef describes a scheduling-policy registration.
+	PolicyDef = registry.PolicyDef
+	// SourceDef describes an energy-source registration.
+	SourceDef = registry.SourceDef
+	// PredictorDef describes a harvest-predictor registration.
+	PredictorDef = registry.PredictorDef
+	// TaskModelDef describes a workload-generator registration.
+	TaskModelDef = registry.TaskModelDef
+	// Param is one entry of a registration's parameter schema.
+	Param = registry.Param
+	// Params carries schema-validated parameter values.
+	Params = registry.Params
+)
+
+// RegisterPolicy adds a scheduling policy to the scenario registry. It
+// panics on a duplicate or malformed registration (registrations are
+// init-time programming errors).
+func RegisterPolicy(def PolicyDef) { registry.RegisterPolicy(def) }
+
+// RegisterSource adds an energy-source kind to the scenario registry.
+func RegisterSource(def SourceDef) { registry.RegisterSource(def) }
+
+// RegisterPredictor adds a harvest predictor to the scenario registry.
+func RegisterPredictor(def PredictorDef) { registry.RegisterPredictor(def) }
+
+// RegisterTaskModel adds a workload generator to the scenario registry.
+func RegisterTaskModel(def TaskModelDef) { registry.RegisterTaskModel(def) }

@@ -18,10 +18,10 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"github.com/eadvfs/eadvfs/internal/core"
 	"github.com/eadvfs/eadvfs/internal/cpu"
 	"github.com/eadvfs/eadvfs/internal/energy"
 	"github.com/eadvfs/eadvfs/internal/obs"
+	"github.com/eadvfs/eadvfs/internal/registry"
 	"github.com/eadvfs/eadvfs/internal/rng"
 	"github.com/eadvfs/eadvfs/internal/sched"
 	"github.com/eadvfs/eadvfs/internal/sim"
@@ -82,24 +82,48 @@ type PolicyFactory func() sched.Policy
 // energy source (only the oracle uses it).
 type PredictorFactory func(src energy.Source) energy.Predictor
 
-// Policy returns the factory for a policy name: "edf", "lsa", "ea-dvfs",
-// "ea-dvfs-dynamic", "greedy-stretch".
+// Policy returns the factory for a registered policy name with default
+// parameters; see internal/registry for the catalog. Policies whose
+// schema binds to spec context (static-dvfs derives its operating point
+// from the utilization) should resolve through Spec.PolicyFor instead.
 func Policy(name string) (PolicyFactory, error) {
-	switch name {
-	case "edf":
-		return func() sched.Policy { return sched.EDF{} }, nil
-	case "lsa":
-		return func() sched.Policy { return sched.LSA{} }, nil
-	case "ea-dvfs":
-		return func() sched.Policy { return core.NewEADVFS() }, nil
-	case "ea-dvfs-dynamic":
-		return func() sched.Policy { return core.NewDynamicEADVFS() }, nil
-	case "greedy-stretch":
-		return func() sched.Policy { return sched.GreedyStretch{} }, nil
-	default:
-		return nil, fmt.Errorf("experiment: unknown policy %q", name)
-	}
+	return PolicyParams(name, nil, Spec{})
 }
+
+// PolicyParams resolves a registered policy with explicit parameters,
+// validated against the registration's schema. When the schema declares
+// a "utilization" parameter and the caller didn't set it, the spec's
+// utilization is bound in — the context static-dvfs sizes its fixed
+// operating point from.
+func PolicyParams(name string, params map[string]any, s Spec) (PolicyFactory, error) {
+	def, err := registry.Policy(name)
+	if err != nil {
+		return nil, err
+	}
+	p := registry.Params(params)
+	if def.HasParam("utilization") && s.Utilization != 0 {
+		if _, ok := p["utilization"]; !ok {
+			bound := make(registry.Params, len(p)+1)
+			for k, v := range p {
+				bound[k] = v
+			}
+			bound["utilization"] = s.Utilization
+			p = bound
+		}
+	}
+	f, err := def.Factory(p)
+	if err != nil {
+		return nil, err
+	}
+	return PolicyFactory(f), nil
+}
+
+// PolicyNames lists the registered policy names in registration order.
+func PolicyNames() []string { return registry.PolicyNames() }
+
+// PredictorNames lists the registered predictor names in registration
+// order.
+func PredictorNames() []string { return registry.PredictorNames() }
 
 // Policies resolves a list of policy names via PolicyFor — the plural form
 // callers of RunBatch and NewMinCapacitySearcher need.
@@ -118,42 +142,32 @@ func (s Spec) Policies(names []string) ([]PolicyFactory, error) {
 	return fs, nil
 }
 
-// PolicyFor resolves a policy name in the context of a spec; it accepts
-// everything Policy does plus "static-dvfs", whose fixed operating point
-// derives from the spec's utilization.
+// PolicyFor resolves a policy name in the context of a spec with default
+// parameters; schema-declared context parameters (static-dvfs's
+// "utilization") bind from the spec.
 func (s Spec) PolicyFor(name string) (PolicyFactory, error) {
-	if name == "static-dvfs" {
-		u := s.Utilization
-		return func() sched.Policy { return sched.StaticDVFS{Utilization: u} }, nil
-	}
-	return Policy(name)
+	return PolicyParams(name, nil, s)
 }
 
-// Predictor returns the factory for a predictor name: "ewma" (default),
-// "oracle", "slot-ewma", "wcma", "moving-average", "last-value", "zero".
+// Predictor returns the factory for a registered predictor name with
+// default parameters ("" aliases "ewma"); see internal/registry for the
+// catalog.
 func Predictor(name string) (PredictorFactory, error) {
-	switch name {
-	case "", "ewma":
-		return func(energy.Source) energy.Predictor { return energy.NewEWMA(0.2) }, nil
-	case "oracle":
-		return func(src energy.Source) energy.Predictor { return energy.NewOracle(src) }, nil
-	case "slot-ewma":
-		return func(energy.Source) energy.Predictor {
-			return energy.NewSlotEWMA(energy.EnvelopePeriod, 64, 0.3)
-		}, nil
-	case "wcma":
-		return func(energy.Source) energy.Predictor {
-			return energy.NewWCMA(energy.EnvelopePeriod, 48, 4, 8)
-		}, nil
-	case "moving-average":
-		return func(energy.Source) energy.Predictor { return energy.NewMovingAverage(30) }, nil
-	case "last-value":
-		return func(energy.Source) energy.Predictor { return energy.NewLastValue() }, nil
-	case "zero":
-		return func(energy.Source) energy.Predictor { return energy.Zero{} }, nil
-	default:
-		return nil, fmt.Errorf("experiment: unknown predictor %q", name)
+	return PredictorParams(name, nil)
+}
+
+// PredictorParams resolves a registered predictor with explicit
+// parameters, validated against the registration's schema.
+func PredictorParams(name string, params map[string]any) (PredictorFactory, error) {
+	def, err := registry.Predictor(name)
+	if err != nil {
+		return nil, err
 	}
+	f, err := def.Factory(registry.Params(params))
+	if err != nil {
+		return nil, err
+	}
+	return PredictorFactory(f), nil
 }
 
 // Spec holds the §5.1 simulation parameters.
@@ -165,6 +179,14 @@ type Spec struct {
 	Replications int       // task sets per point; paper: 5 000
 	Seed         uint64    // master seed
 	Predictor    string    // predictor name (see Predictor)
+
+	// TaskModel names the registered workload generator ("" means
+	// "periodic", the paper's §5.1 recipe) and TaskParams carries its
+	// schema-validated parameters. Schema v2 members: serialized under
+	// explicit lowercase keys, omitted when unset so v1 documents and
+	// their digests are unchanged.
+	TaskModel  string         `json:"task_model,omitempty"`
+	TaskParams map[string]any `json:"task_params,omitempty"`
 
 	// PredictorAlpha overrides the smoothing factor of the "ewma" and
 	// "slot-ewma" predictors; 0 keeps each predictor's built-in default.
@@ -250,33 +272,36 @@ func (s Spec) Validate() error {
 	if _, err := s.PredictorFor(s.Predictor); err != nil {
 		return err
 	}
+	model, err := registry.TaskModel(s.TaskModel)
+	if err != nil {
+		return err
+	}
+	if err := registry.ValidateParams(registry.KindTaskModel, model.Name, model.Params, registry.Params(s.TaskParams)); err != nil {
+		return err
+	}
 	return nil
 }
 
 // PredictorFor resolves a predictor name with the spec's smoothing factor
 // applied. With PredictorAlpha zero it is exactly Predictor; otherwise
-// the override must name a predictor that has a smoothing factor.
+// the override must name a predictor whose schema declares an "alpha"
+// parameter.
 func (s Spec) PredictorFor(name string) (PredictorFactory, error) {
 	if s.PredictorAlpha == 0 {
 		return Predictor(name)
 	}
-	alpha := s.PredictorAlpha
-	switch name {
-	case "", "ewma":
-		if _, err := energy.NewEWMAChecked(alpha); err != nil {
-			return nil, err
-		}
-		return func(energy.Source) energy.Predictor { return energy.NewEWMA(alpha) }, nil
-	case "slot-ewma":
-		if _, err := energy.NewSlotEWMAChecked(energy.EnvelopePeriod, 64, alpha); err != nil {
-			return nil, err
-		}
-		return func(energy.Source) energy.Predictor {
-			return energy.NewSlotEWMA(energy.EnvelopePeriod, 64, alpha)
-		}, nil
-	default:
-		return nil, fmt.Errorf("experiment: predictor %q has no smoothing factor to override", name)
+	def, err := registry.Predictor(name)
+	if err != nil {
+		return nil, err
 	}
+	if !def.HasParam("alpha") {
+		return nil, fmt.Errorf("experiment: predictor %q has no smoothing factor to override", def.Name)
+	}
+	f, err := def.Factory(registry.Params{"alpha": s.PredictorAlpha})
+	if err != nil {
+		return nil, err
+	}
+	return PredictorFactory(f), nil
 }
 
 // defaultEventBudget is the runaway watchdog for experiment runs: a
@@ -347,19 +372,23 @@ var solarMeanPower = sync.OnceValue(func() float64 {
 	return energy.NewSolarModel(0).MeanPower()
 })
 
-// Replicate derives replication r of the spec.
+// Replicate derives replication r of the spec through its registered
+// task model (default "periodic", the paper's recipe).
 func Replicate(s Spec, r int) (Replication, error) {
+	model, err := registry.TaskModel(s.TaskModel)
+	if err != nil {
+		return Replication{}, err
+	}
 	master := rng.New(s.Seed)
 	taskRng := master.Child(uint64(2 * r))
 	srcSeed := master.Child(uint64(2*r + 1)).Uint64()
-	gcfg := task.GeneratorConfig{
+	gen := registry.TaskGen{
 		NumTasks:         s.NumTasks,
-		Periods:          task.PaperPeriods(),
+		TargetU:          s.Utilization,
 		MeanHarvestPower: solarMeanPower(),
 		PMax:             s.Processor().MaxPower(),
-		TargetU:          s.Utilization,
 	}
-	tasks, err := task.Generate(gcfg, taskRng)
+	tasks, err := model.Build(gen, registry.Params(s.TaskParams), taskRng)
 	if err != nil {
 		return Replication{}, err
 	}

@@ -1,0 +1,53 @@
+package registry
+
+import "github.com/eadvfs/eadvfs/internal/spec"
+
+// Capability is the wire form of one registration: its name, help text
+// and parameter schema, exactly as registered. GET /v1/capabilities
+// serves a Capabilities document so a fleet coordinator (eactl, fabric)
+// can enumerate what a worker build supports without guessing.
+type Capability struct {
+	Name   string  `json:"name"`
+	Help   string  `json:"help,omitempty"`
+	Params []Param `json:"params,omitempty"`
+}
+
+// Capabilities is the registry's wire snapshot. Ordering is registration
+// order, so two identical builds serve byte-identical documents.
+type Capabilities struct {
+	Schema     int          `json:"schema"` // spec schema version this build speaks
+	Policies   []Capability `json:"policies"`
+	Sources    []Capability `json:"sources"`
+	Predictors []Capability `json:"predictors"`
+	TaskModels []Capability `json:"task_models"`
+}
+
+func capOf(name, help string, params []Param) Capability {
+	return Capability{Name: name, Help: help, Params: params}
+}
+
+// Snapshot captures the current registry as a Capabilities document.
+func Snapshot() Capabilities {
+	reg.mu.RLock()
+	defer reg.mu.RUnlock()
+	out := Capabilities{
+		Schema:     spec.Current,
+		Policies:   make([]Capability, 0, len(reg.policies)),
+		Sources:    make([]Capability, 0, len(reg.sources)),
+		Predictors: make([]Capability, 0, len(reg.predictors)),
+		TaskModels: make([]Capability, 0, len(reg.taskModels)),
+	}
+	for _, d := range reg.policies {
+		out.Policies = append(out.Policies, capOf(d.Name, d.Help, d.Params))
+	}
+	for _, d := range reg.sources {
+		out.Sources = append(out.Sources, capOf(d.Name, d.Help, d.Params))
+	}
+	for _, d := range reg.predictors {
+		out.Predictors = append(out.Predictors, capOf(d.Name, d.Help, d.Params))
+	}
+	for _, d := range reg.taskModels {
+		out.TaskModels = append(out.TaskModels, capOf(d.Name, d.Help, d.Params))
+	}
+	return out
+}

@@ -1,0 +1,273 @@
+package registry
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/eadvfs/eadvfs/internal/sched"
+)
+
+// TestBuiltinEnumerationOrder pins registration order as API: the facade's
+// Policies()/Predictors() lists (and the capabilities document) present
+// this order, and example output is golden-tested against it.
+func TestBuiltinEnumerationOrder(t *testing.T) {
+	wantPolicies := []string{"ea-dvfs", "ea-dvfs-dynamic", "lsa", "edf", "static-dvfs", "greedy-stretch"}
+	if got := PolicyNames(); !equalPrefix(got, wantPolicies) {
+		t.Errorf("PolicyNames() = %v, want prefix %v", got, wantPolicies)
+	}
+	wantPredictors := []string{"ewma", "oracle", "slot-ewma", "wcma", "moving-average", "last-value", "zero"}
+	if got := PredictorNames(); !equalPrefix(got, wantPredictors) {
+		t.Errorf("PredictorNames() = %v, want prefix %v", got, wantPredictors)
+	}
+	wantSources := []string{"solar", "constant", "two-mode", "trace"}
+	if got := SourceNames(); !equalPrefix(got, wantSources) {
+		t.Errorf("SourceNames() = %v, want prefix %v", got, wantSources)
+	}
+	if got := TaskModelNames(); len(got) == 0 || got[0] != "periodic" {
+		t.Errorf("TaskModelNames() = %v, want periodic first", got)
+	}
+}
+
+// equalPrefix reports whether got begins with want — other test binaries
+// (and future scenario packages) may register more entries after the
+// built-ins, but the built-in prefix must hold.
+func equalPrefix(got, want []string) bool {
+	if len(got) < len(want) {
+		return false
+	}
+	for i, w := range want {
+		if got[i] != w {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDuplicateRegistrationPanics: a duplicate name is an init-time
+// programming error, every kind.
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	cases := []struct {
+		name     string
+		register func()
+	}{
+		{"policy", func() {
+			RegisterPolicy(PolicyDef{Name: "ea-dvfs",
+				New: func(Params) (sched.Policy, error) { return sched.EDF{}, nil }})
+		}},
+		{"source", func() {
+			RegisterSource(SourceDef{Name: "solar", New: Sources()[0].New})
+		}},
+		{"predictor", func() {
+			RegisterPredictor(PredictorDef{Name: "ewma", New: Predictors()[0].New})
+		}},
+		{"task model", func() {
+			RegisterTaskModel(TaskModelDef{Name: "periodic", Generate: TaskModels()[0].Generate})
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("duplicate %s registration did not panic", tc.name)
+				}
+				if msg, ok := r.(string); !ok || !strings.Contains(msg, "duplicate") {
+					t.Fatalf("panic message %v does not mention the duplicate", r)
+				}
+			}()
+			tc.register()
+		})
+	}
+}
+
+// TestMalformedRegistrationPanics: empty names, nil constructors and
+// self-rejecting parameter schemas fail at registration, not at first use.
+func TestMalformedRegistrationPanics(t *testing.T) {
+	newPolicy := func(Params) (sched.Policy, error) { return sched.EDF{}, nil }
+	cases := []struct {
+		name     string
+		register func()
+	}{
+		{"empty name", func() { RegisterPolicy(PolicyDef{New: newPolicy}) }},
+		{"nil constructor", func() { RegisterPolicy(PolicyDef{Name: "t-nil-ctor"}) }},
+		{"unnamed param", func() {
+			RegisterPolicy(PolicyDef{Name: "t-unnamed-param", New: newPolicy,
+				Params: []Param{{Type: TypeFloat}}})
+		}},
+		{"duplicate param", func() {
+			RegisterPolicy(PolicyDef{Name: "t-dup-param", New: newPolicy,
+				Params: []Param{{Name: "x", Type: TypeFloat}, {Name: "x", Type: TypeFloat}}})
+		}},
+		{"unknown param type", func() {
+			RegisterPolicy(PolicyDef{Name: "t-bad-type", New: newPolicy,
+				Params: []Param{{Name: "x", Type: "complex128"}}})
+		}},
+		{"default violates own schema", func() {
+			min := 1.0
+			RegisterPolicy(PolicyDef{Name: "t-bad-default", New: newPolicy,
+				Params: []Param{{Name: "x", Type: TypeFloat, Default: 0.0, Min: &min}}})
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s registration did not panic", tc.name)
+				}
+			}()
+			tc.register()
+		})
+	}
+}
+
+// TestUnknownLookupError: unknown names yield the typed *UnknownError
+// whose message lists every registered name — the text a client sees in
+// an HTTP 400 body.
+func TestUnknownLookupError(t *testing.T) {
+	_, err := Policy("no-such-policy")
+	var ue *UnknownError
+	if !errors.As(err, &ue) {
+		t.Fatalf("Policy lookup error is %T, want *UnknownError", err)
+	}
+	if ue.Kind != KindPolicy || ue.Name != "no-such-policy" {
+		t.Errorf("UnknownError fields = %+v", ue)
+	}
+	for _, name := range PolicyNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not list registered policy %q", err, name)
+		}
+	}
+	if _, err := Source("no-such-source"); !errors.As(err, &ue) {
+		t.Errorf("Source lookup error is %T, want *UnknownError", err)
+	}
+	if _, err := Predictor("no-such-predictor"); !errors.As(err, &ue) {
+		t.Errorf("Predictor lookup error is %T, want *UnknownError", err)
+	}
+	if _, err := TaskModel("no-such-model"); !errors.As(err, &ue) {
+		t.Errorf("TaskModel lookup error is %T, want *UnknownError", err)
+	}
+}
+
+// TestLookupAliases: the empty predictor and task-model names alias the
+// paper defaults, preserving pre-registry leniency.
+func TestLookupAliases(t *testing.T) {
+	if d, err := Predictor(""); err != nil || d.Name != "ewma" {
+		t.Errorf("Predictor(\"\") = %v, %v; want ewma", d.Name, err)
+	}
+	if d, err := TaskModel(""); err != nil || d.Name != "periodic" {
+		t.Errorf("TaskModel(\"\") = %v, %v; want periodic", d.Name, err)
+	}
+}
+
+// TestValidateParams is the schema validator's error-path table: unknown
+// names, type mismatches, range violations, non-finite numbers, missing
+// required parameters — each rejected with a typed *ParamError naming
+// the offending parameter.
+func TestValidateParams(t *testing.T) {
+	min, max := 0.0, 1.0
+	schema := []Param{
+		{Name: "u", Type: TypeFloat, Min: &min, Max: &max},
+		{Name: "n", Type: TypeInt},
+		{Name: "seed", Type: TypeUint},
+		{Name: "on", Type: TypeBool},
+		{Name: "label", Type: TypeString},
+		{Name: "samples", Type: TypeFloats, Required: true},
+	}
+	ok := Params{"samples": []float64{1, 2}}
+	cases := []struct {
+		name    string
+		params  Params
+		param   string // expected offending parameter
+		wantErr bool
+	}{
+		{"valid full", Params{"u": 0.5, "n": 3, "seed": uint64(7), "on": true, "label": "x", "samples": []any{1.0, 2.0}}, "", false},
+		{"valid minimal", ok, "", false},
+		{"unknown param", Params{"samples": []float64{1}, "bogus": 1.0}, "bogus", true},
+		{"wrong type string for float", Params{"samples": []float64{1}, "u": "high"}, "u", true},
+		{"float for int", Params{"samples": []float64{1}, "n": 2.5}, "n", true},
+		{"negative for uint", Params{"samples": []float64{1}, "seed": -1}, "seed", true},
+		{"below min", Params{"samples": []float64{1}, "u": -0.1}, "u", true},
+		{"above max", Params{"samples": []float64{1}, "u": 1.5}, "u", true},
+		{"NaN", Params{"samples": []float64{1}, "u": nan()}, "u", true},
+		{"bool as int", Params{"samples": []float64{1}, "n": true}, "n", true},
+		{"non-numeric slice element", Params{"samples": []any{1.0, "x"}}, "samples", true},
+		{"missing required", Params{"u": 0.5}, "samples", true},
+		{"nil params missing required", nil, "samples", true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := ValidateParams(KindPolicy, "test-owner", schema, tc.params)
+			if !tc.wantErr {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			var pe *ParamError
+			if !errors.As(err, &pe) {
+				t.Fatalf("error is %T (%v), want *ParamError", err, err)
+			}
+			if pe.Param != tc.param {
+				t.Errorf("offending param = %q, want %q (err: %v)", pe.Param, tc.param, err)
+			}
+		})
+	}
+}
+
+func nan() float64 {
+	var zero float64
+	return zero / zero
+}
+
+// TestPolicyFactoryValidates: Factory surfaces schema violations at
+// resolve time, and a valid resolution probes the constructor once so a
+// bad combination cannot panic mid-sweep.
+func TestPolicyFactoryValidates(t *testing.T) {
+	def, err := Policy("static-dvfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := def.Factory(Params{"utilization": 2.0}); err == nil {
+		t.Error("utilization 2.0 accepted despite max 1")
+	}
+	if _, err := def.Factory(Params{"bogus": 1.0}); err == nil {
+		t.Error("unknown parameter accepted")
+	}
+	f, err := def.Factory(Params{"utilization": 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := f()
+	if pol.Name() != "static-dvfs" {
+		t.Errorf("built policy %q", pol.Name())
+	}
+	// RefFactory of a Ref-less def falls back to the optimized
+	// constructor — differential coverage via the shared implementation.
+	rf, err := def.RefFactory(Params{"utilization": 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rf().Name() != "static-dvfs" {
+		t.Error("RefFactory fallback built a different policy")
+	}
+}
+
+// TestPredictorParamValidation: predictor constructors run their checked
+// validation under Factory, so a bad alpha errors instead of panicking.
+func TestPredictorParamValidation(t *testing.T) {
+	def, err := Predictor("ewma")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := def.Factory(Params{"alpha": 7.0}); err == nil {
+		t.Error("alpha 7.0 accepted")
+	}
+	f, err := def.Factory(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f(nil).Name(); got != "ewma" {
+		t.Errorf("default-built predictor %q", got)
+	}
+}

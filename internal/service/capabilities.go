@@ -1,0 +1,52 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"sync"
+
+	"github.com/eadvfs/eadvfs/internal/registry"
+)
+
+// capabilitiesDoc is the body of GET /v1/capabilities: the scenario
+// registry's self-describing snapshot (policies, sources, predictors,
+// task models with their parameter schemas, in registration order) plus
+// the sweep kinds this worker's /v1/sweep accepts. eactl and the fabric
+// coordinator enumerate it to learn what a worker build supports —
+// including out-of-tree registrations — instead of hardcoding names.
+type capabilitiesDoc struct {
+	registry.Capabilities
+	Sweeps []string `json:"sweeps"`
+}
+
+// capabilitiesBytes renders the document once: the registry is frozen
+// after init, so every response — across requests and across workers of
+// the same build — is byte-identical, which lets a coordinator fingerprint
+// fleet homogeneity by comparing bodies.
+var capabilitiesBytes = sync.OnceValue(func() []byte {
+	doc := capabilitiesDoc{
+		Capabilities: registry.Snapshot(),
+		Sweeps:       []string{"missrate", "remaining"},
+	}
+	b, err := json.Marshal(doc)
+	if err != nil {
+		// The document is built from registered literals; a marshal
+		// failure is a programming error in a registration.
+		panic("service: capabilities document failed to marshal: " + err.Error())
+	}
+	return append(b, '\n')
+})
+
+// handleCapabilities serves GET /v1/capabilities. The endpoint is
+// read-only metadata: it stays available while draining (a coordinator
+// probing a draining worker should still learn what it was).
+func (s *Server) handleCapabilities(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		s.writeError(w, http.StatusMethodNotAllowed, errors.New("GET the capability document"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(capabilitiesBytes())
+}

@@ -34,6 +34,7 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -50,6 +51,7 @@ import (
 	"github.com/eadvfs/eadvfs/internal/digest"
 	"github.com/eadvfs/eadvfs/internal/experiment"
 	"github.com/eadvfs/eadvfs/internal/obs"
+	"github.com/eadvfs/eadvfs/internal/spec"
 )
 
 // defaultMaxBodyBytes bounds a request body; a simulation spec is a few
@@ -134,6 +136,12 @@ var (
 // SweepRequest is the body of POST /v1/sweep: which experiment to run,
 // its spec, and the policies to compare.
 type SweepRequest struct {
+	// Schema declares the wire schema version (internal/spec): absent or
+	// 1 is the original v1 form, 2 the current one. The nested spec's
+	// v2-only members (task_model, task_params) require 2. Excluded from
+	// the request digest, so versioned and unversioned spellings of the
+	// same sweep share a cache entry.
+	Schema int `json:"schema,omitempty"`
 	// Kind selects the sweep: "missrate" (Figures 8–9 pooled deadline
 	// miss rates) or "remaining" (Figures 6–7 remaining-energy curves).
 	Kind string `json:"kind"`
@@ -257,6 +265,7 @@ func New(opts Options) *Server {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/sim", s.handleSim)
 	s.mux.HandleFunc("/v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("/v1/capabilities", s.handleCapabilities)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/version", s.handleVersion)
@@ -502,11 +511,28 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusServiceUnavailable, errDraining)
 		return
 	}
-	var cfg eadvfs.Config
-	if err := decodeStrict(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes), &cfg); err != nil {
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
+	if err != nil {
 		s.writeError(w, decodeStatus(err), fmt.Errorf("sim config: %w", err))
 		return
 	}
+	// Wire-schema gate: an unversioned (v1) document using v2-only
+	// members is rejected, never silently reinterpreted, and a version
+	// newer than this build fails loudly (internal/spec).
+	if _, err := spec.CheckWire(raw); err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("sim config: %w", err))
+		return
+	}
+	var cfg eadvfs.Config
+	if err := decodeStrict(bytes.NewReader(raw), &cfg); err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("sim config: %w", err))
+		return
+	}
+	// The schema declaration is wire metadata, not simulation identity:
+	// zero it before the canonical marshal so a migrated (v2) spec keys
+	// the same cache entry — and the same fleet affinity route — as its
+	// v1 spelling (DESIGN.md §16).
+	cfg.Schema = 0
 	canonical, err := json.Marshal(cfg)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
@@ -608,9 +634,20 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusServiceUnavailable, errDraining)
 		return
 	}
-	var req SweepRequest
-	if err := decodeStrict(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes), &req); err != nil {
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
+	if err != nil {
 		s.writeError(w, decodeStatus(err), fmt.Errorf("sweep request: %w", err))
+		return
+	}
+	// Wire-schema gate, covering v2-only members nested in the "spec"
+	// object (see handleSim for the contract).
+	if _, err := spec.CheckWire(raw, "spec"); err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("sweep request: %w", err))
+		return
+	}
+	var req SweepRequest
+	if err := decodeStrict(bytes.NewReader(raw), &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("sweep request: %w", err))
 		return
 	}
 	switch req.Kind {
@@ -634,6 +671,8 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	// Wire metadata, not sweep identity (see handleSim).
+	req.Schema = 0
 	canonical, err := json.Marshal(req)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err)

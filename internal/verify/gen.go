@@ -3,6 +3,7 @@ package verify
 import (
 	"math"
 
+	"github.com/eadvfs/eadvfs/internal/registry"
 	"github.com/eadvfs/eadvfs/internal/rng"
 	"github.com/eadvfs/eadvfs/internal/task"
 )
@@ -63,6 +64,26 @@ func RandomSpec(seed uint64) *Spec {
 	// Watchdog: a differential pair that loops forever should fail with a
 	// matching pair of EventBudgetErrors, not hang CI.
 	s.MaxEvents = 2_000_000
+	return s
+}
+
+// RandomSpecForPolicy draws the deterministic spec for (seed, policy):
+// RandomSpec's distribution with the policy pinned, plus schema-derived
+// parameters for registrations that declare any (static-dvfs gets a
+// utilization drawn from a seed-derived stream, so the parameter space
+// is swept too, deterministically). This is how the auto-differential
+// sweep covers every registered policy — including ones RandomSpec's
+// own menu predates — with one spec recipe.
+func RandomSpecForPolicy(seed uint64, policy string) *Spec {
+	s := RandomSpec(seed)
+	s.Policy = policy
+	s.PolicyParams = nil
+	if def, err := registry.Policy(policy); err == nil && def.HasParam("utilization") {
+		// A distinct stream: perturbing parameters must not reshuffle the
+		// rest of the spec away from RandomSpec(seed)'s draw.
+		pr := rng.New(seed ^ 0x9e3779b97f4a7c15)
+		s.PolicyParams = map[string]any{"utilization": pr.Uniform(0.1, 0.9)}
+	}
 	return s
 }
 

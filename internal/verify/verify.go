@@ -19,12 +19,12 @@ import (
 	"math"
 	"reflect"
 
-	"github.com/eadvfs/eadvfs/internal/core"
 	"github.com/eadvfs/eadvfs/internal/cpu"
 	"github.com/eadvfs/eadvfs/internal/energy"
 	"github.com/eadvfs/eadvfs/internal/fault"
 	"github.com/eadvfs/eadvfs/internal/obs"
 	"github.com/eadvfs/eadvfs/internal/refimpl"
+	"github.com/eadvfs/eadvfs/internal/registry"
 	"github.com/eadvfs/eadvfs/internal/sched"
 	"github.com/eadvfs/eadvfs/internal/sim"
 	"github.com/eadvfs/eadvfs/internal/storage"
@@ -57,20 +57,29 @@ type SourceSpec struct {
 	Samples []float64 `json:"samples,omitempty"`
 }
 
-// Build constructs a fresh source from the spec.
+// Build constructs a fresh source from the spec, resolving the kind
+// through the scenario registry. Every parameter is passed explicitly —
+// including zero values — so the constructed source is a pure function
+// of the spec, never of a registry default that might move.
 func (s SourceSpec) Build() (energy.Source, error) {
+	def, err := registry.Source(s.Kind)
+	if err != nil {
+		return nil, err
+	}
+	var p registry.Params
 	switch s.Kind {
 	case "constant":
-		return energy.NewConstantChecked(s.Power)
+		p = registry.Params{"power": s.Power}
 	case "two-mode":
-		return energy.NewTwoModeChecked(s.Day, s.Night, s.Period, s.DayLen)
+		p = registry.Params{"day": s.Day, "night": s.Night, "period": s.Period, "day_len": s.DayLen}
 	case "solar":
-		return energy.NewSolarModelAmpChecked(s.Seed, s.Amplitude)
+		p = registry.Params{"seed": s.Seed, "amplitude": s.Amplitude}
 	case "trace":
-		return energy.NewTraceChecked("verify-trace", s.Samples)
+		p = registry.Params{"samples": s.Samples, "label": "verify-trace"}
 	default:
-		return nil, fmt.Errorf("verify: unknown source kind %q", s.Kind)
+		return nil, fmt.Errorf("verify: source kind %q is registered but has no parameter mapping here", s.Kind)
 	}
+	return def.Build(p)
 }
 
 // Spec is one differential test case: everything both engines need to run,
@@ -81,8 +90,14 @@ type Spec struct {
 	// only — the spec is self-contained).
 	Seed uint64 `json:"seed"`
 
-	Policy    string  `json:"policy"`    // "ea-dvfs", "ea-dvfs-dynamic", "lsa", "edf"
-	Predictor string  `json:"predictor"` // "oracle", "ewma", "last-value", "zero"
+	// Policy names a registered policy — the harness enumerates the
+	// registry, so every registration is a legal (and swept) value.
+	// PolicyParams carries its schema-declared parameters (e.g.
+	// static-dvfs's "utilization").
+	Policy       string         `json:"policy"`
+	PolicyParams map[string]any `json:"policy_params,omitempty"`
+
+	Predictor string  `json:"predictor"` // a registered predictor name
 	Alpha     float64 `json:"alpha,omitempty"`
 
 	Horizon float64     `json:"horizon"`
@@ -139,64 +154,71 @@ func (b *biasPredictor) PredictEnergy(t1, t2 float64) float64 {
 
 func (b *biasPredictor) Name() string { return b.inner.Name() }
 
+// policyParams materializes the spec's policy parameters for validation.
+func (s *Spec) policyParams() registry.Params { return registry.Params(s.PolicyParams) }
+
+// optPolicy builds the optimized-engine policy through the registry.
 func (s *Spec) optPolicy() (sched.Policy, error) {
-	switch s.Policy {
-	case "ea-dvfs":
-		return core.NewEADVFS(), nil
-	case "ea-dvfs-dynamic":
-		return core.NewDynamicEADVFS(), nil
-	case "lsa":
-		return sched.LSA{}, nil
-	case "edf":
-		return sched.EDF{}, nil
-	default:
-		return nil, fmt.Errorf("verify: unknown policy %q", s.Policy)
+	def, err := registry.Policy(s.Policy)
+	if err != nil {
+		return nil, err
 	}
+	f, err := def.Factory(s.policyParams())
+	if err != nil {
+		return nil, err
+	}
+	return f(), nil
 }
 
+// refPolicy builds the reference-engine policy: the registration's Ref
+// (a hand-written naive counterpart in internal/refimpl) when present,
+// the optimized constructor otherwise — the fallback still cross-checks
+// the two engines on a shared policy implementation, so every
+// registered policy gets differential coverage the moment it registers.
 func (s *Spec) refPolicy() (sched.Policy, error) {
-	switch s.Policy {
-	case "ea-dvfs":
-		return refimpl.NewEADVFS(), nil
-	case "ea-dvfs-dynamic":
-		return refimpl.NewDynamicEADVFS(), nil
-	case "lsa":
-		return refimpl.LSA{}, nil
-	case "edf":
-		return refimpl.EDF{}, nil
-	default:
-		return nil, fmt.Errorf("verify: unknown policy %q", s.Policy)
+	def, err := registry.Policy(s.Policy)
+	if err != nil {
+		return nil, err
 	}
+	f, err := def.RefFactory(s.policyParams())
+	if err != nil {
+		return nil, err
+	}
+	return f(), nil
+}
+
+// predictorParams maps the spec's Alpha shorthand onto the registry
+// schema: passed only when set, so alpha-less predictors validate and
+// an unset alpha takes the registered default.
+func (s *Spec) predictorParams() registry.Params {
+	if s.Alpha != 0 {
+		return registry.Params{"alpha": s.Alpha}
+	}
+	return nil
 }
 
 func (s *Spec) optPredictor(src energy.Source) (energy.Predictor, error) {
-	switch s.Predictor {
-	case "oracle":
-		return energy.NewOracle(src), nil
-	case "ewma":
-		return energy.NewEWMA(s.Alpha), nil
-	case "last-value":
-		return energy.NewLastValue(), nil
-	case "zero":
-		return energy.Zero{}, nil
-	default:
-		return nil, fmt.Errorf("verify: unknown predictor %q", s.Predictor)
+	def, err := registry.Predictor(s.Predictor)
+	if err != nil {
+		return nil, err
 	}
+	f, err := def.Factory(s.predictorParams())
+	if err != nil {
+		return nil, err
+	}
+	return f(src), nil
 }
 
 func (s *Spec) refPredictor(src energy.Source) (energy.Predictor, error) {
-	switch s.Predictor {
-	case "oracle":
-		return refimpl.NewOracle(src), nil
-	case "ewma":
-		return refimpl.NewEWMA(s.Alpha), nil
-	case "last-value":
-		return refimpl.NewLastValue(), nil
-	case "zero":
-		return refimpl.Zero{}, nil
-	default:
-		return nil, fmt.Errorf("verify: unknown predictor %q", s.Predictor)
+	def, err := registry.Predictor(s.Predictor)
+	if err != nil {
+		return nil, err
 	}
+	f, err := def.RefFactory(s.predictorParams())
+	if err != nil {
+		return nil, err
+	}
+	return f(src), nil
 }
 
 // cpuFor resolves the spec's processor preset. The processor is immutable

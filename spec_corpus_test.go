@@ -1,0 +1,238 @@
+package eadvfs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	eadvfs "github.com/eadvfs/eadvfs"
+	"github.com/eadvfs/eadvfs/internal/digest"
+	"github.com/eadvfs/eadvfs/internal/service"
+	"github.com/eadvfs/eadvfs/internal/spec"
+)
+
+// -update regenerates testdata/specs/digests.golden from the corpus.
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+const specDir = "testdata/specs"
+
+// corpusFiles returns the v1 documents under testdata/specs in sorted
+// order: sim_*.json are /v1/sim configs, sweep_*.json are /v1/sweep
+// requests.
+func corpusFiles(t *testing.T) []string {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join(specDir, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) < 6 {
+		t.Fatalf("corpus too small: %d files under %s", len(names), specDir)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TestSpecCorpusGoldenDigests is the upgrade-compatibility contract: every
+// committed v1 document migrates to schema 2 with a byte-identical compact
+// digest, and the digests match the committed golden file — so the service
+// LRU, the fabric worker caches and the fleet affinity ring all stay warm
+// across the v1→v2 upgrade.
+func TestSpecCorpusGoldenDigests(t *testing.T) {
+	var lines []string
+	for _, name := range corpusFiles(t) {
+		raw, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := filepath.Base(name)
+		v, err := spec.Version(raw)
+		if err != nil {
+			t.Errorf("%s: %v", base, err)
+			continue
+		}
+		if v != 1 {
+			t.Errorf("%s: corpus document declares schema %d, want unversioned v1", base, v)
+		}
+		migrated, err := spec.Migrate(raw)
+		if err != nil {
+			t.Fatalf("%s: migrate: %v", base, err)
+		}
+		if mv, err := spec.Version(migrated); err != nil || mv != spec.Current {
+			t.Errorf("%s: migrated version = %d, %v; want %d", base, mv, err, spec.Current)
+		}
+		d1, err := spec.Digest(raw)
+		if err != nil {
+			t.Fatalf("%s: digest: %v", base, err)
+		}
+		d2, err := spec.Digest(migrated)
+		if err != nil {
+			t.Fatalf("%s: digest(migrated): %v", base, err)
+		}
+		if d1 != d2 {
+			t.Errorf("%s: migration changed the digest: %s != %s", base, d1, d2)
+		}
+		lines = append(lines, fmt.Sprintf("%s %s", base, d1))
+	}
+	got := strings.Join(lines, "\n") + "\n"
+
+	goldenPath := filepath.Join(specDir, "digests.golden")
+	if *updateGolden {
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run `go test -run TestSpecCorpusGoldenDigests -update .`): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("corpus digests drifted from %s — a v1 cache key changed.\ngot:\n%swant:\n%s",
+			goldenPath, got, want)
+	}
+}
+
+// TestSpecCorpusStructDigests re-checks digest stability at the struct
+// layer: decoding a v1 document and its migrated form into the typed
+// config and re-marshaling canonically (Schema zeroed, exactly what the
+// service hashes) must produce identical bytes.
+func TestSpecCorpusStructDigests(t *testing.T) {
+	for _, name := range corpusFiles(t) {
+		base := filepath.Base(name)
+		t.Run(base, func(t *testing.T) {
+			raw, err := os.ReadFile(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			migrated, err := spec.Migrate(raw)
+			if err != nil {
+				t.Fatal(err)
+			}
+			canon := func(doc []byte) []byte {
+				t.Helper()
+				if strings.HasPrefix(base, "sweep_") {
+					var req service.SweepRequest
+					dec := json.NewDecoder(bytes.NewReader(doc))
+					dec.DisallowUnknownFields()
+					if err := dec.Decode(&req); err != nil {
+						t.Fatalf("corpus request does not decode strictly: %v", err)
+					}
+					req.Schema = 0
+					out, err := json.Marshal(req)
+					if err != nil {
+						t.Fatal(err)
+					}
+					return out
+				}
+				var cfg eadvfs.Config
+				dec := json.NewDecoder(bytes.NewReader(doc))
+				dec.DisallowUnknownFields()
+				if err := dec.Decode(&cfg); err != nil {
+					t.Fatalf("corpus document does not decode strictly: %v", err)
+				}
+				cfg.Schema = 0
+				out, err := json.Marshal(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return out
+			}
+			c1, c2 := canon(raw), canon(migrated)
+			if !bytes.Equal(c1, c2) {
+				t.Errorf("canonical forms differ across migration:\n  v1: %s\n  v2: %s", c1, c2)
+			}
+			if digest.Compact(c1) != digest.Compact(c2) {
+				t.Errorf("struct-level digest changed across migration")
+			}
+		})
+	}
+}
+
+// TestSpecCorpusServiceCacheWarm drives the full wire path: POST each v1
+// document, then its migrated v2 form, against a live service. The second
+// request must be an X-Cache hit with a byte-identical body — proof the
+// upgrade never cold-starts a cache.
+func TestSpecCorpusServiceCacheWarm(t *testing.T) {
+	srv := httptest.NewServer(service.New(service.Options{Workers: 2}).Handler())
+	defer srv.Close()
+
+	for _, name := range corpusFiles(t) {
+		base := filepath.Base(name)
+		t.Run(base, func(t *testing.T) {
+			raw, err := os.ReadFile(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			migrated, err := spec.Migrate(raw)
+			if err != nil {
+				t.Fatal(err)
+			}
+			endpoint := srv.URL + "/v1/sim"
+			if strings.HasPrefix(base, "sweep_") {
+				endpoint = srv.URL + "/v1/sweep"
+			}
+			post := func(body []byte) (string, []byte) {
+				t.Helper()
+				resp, err := http.Post(endpoint, "application/json", bytes.NewReader(body))
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer resp.Body.Close()
+				var buf bytes.Buffer
+				if _, err := buf.ReadFrom(resp.Body); err != nil {
+					t.Fatal(err)
+				}
+				if resp.StatusCode != http.StatusOK {
+					t.Fatalf("POST %s: %d: %s", endpoint, resp.StatusCode, buf.String())
+				}
+				return resp.Header.Get("X-Cache"), buf.Bytes()
+			}
+			cache1, body1 := post(raw)
+			if cache1 != "miss" {
+				t.Errorf("first (v1) request: X-Cache = %q, want miss", cache1)
+			}
+			cache2, body2 := post(migrated)
+			if cache2 != "hit" {
+				t.Errorf("migrated (v2) request: X-Cache = %q, want hit — upgrade cold-started the cache", cache2)
+			}
+			if !bytes.Equal(body1, body2) {
+				t.Errorf("v1 and migrated v2 responses differ:\n  v1: %s\n  v2: %s", body1, body2)
+			}
+		})
+	}
+}
+
+// TestV2KeysMatchConfigTags cross-checks spec.V2Keys against the
+// eadvfs.Config JSON tags by reflection, so the wire gate and the struct
+// can't drift: every lowercase-tagged member other than "schema" must be
+// declared a v2 key, and every v2 key must exist on the struct.
+func TestV2KeysMatchConfigTags(t *testing.T) {
+	tagged := map[string]bool{}
+	rt := reflect.TypeOf(eadvfs.Config{})
+	for i := 0; i < rt.NumField(); i++ {
+		tag := rt.Field(i).Tag.Get("json")
+		name, _, _ := strings.Cut(tag, ",")
+		if name == "" || name == "-" || name == "schema" {
+			continue
+		}
+		tagged[name] = true
+	}
+	for _, k := range spec.V2Keys {
+		if !tagged[k] {
+			t.Errorf("spec.V2Keys lists %q but eadvfs.Config has no such json tag", k)
+		}
+		delete(tagged, k)
+	}
+	for name := range tagged {
+		t.Errorf("eadvfs.Config tags member %q but spec.V2Keys does not list it — an old server would silently drop it", name)
+	}
+}
