@@ -8,6 +8,8 @@
 //	eaexp -exp table1            minimum-capacity ratios (Table 1)
 //	eaexp -exp all               everything
 //	eaexp -exp robustness        miss rate vs fault intensity (beyond the paper)
+//	eaexp -exp slack             miss rate vs best-case/WCET ratio, reclaiming policies (beyond the paper)
+//	eaexp -exp sleep             miss rate per DPM sleep preset (beyond the paper)
 //
 // Each experiment prints an ASCII chart or table and, with -csv DIR,
 // writes the raw series as CSV. -replications trades fidelity for time
@@ -67,6 +69,12 @@ func main() {
 
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memprofile = flag.String("memprofile", "", "write an allocation profile taken after the run to this file")
+
+		// -exp slack / -exp sleep parameters.
+		slackFactors = flag.String("slack-factors", "0.1,0.25,0.5,0.75,1", "comma-separated best-case/WCET ratios of the slack sweep, each in (0, 1]")
+		sleepPresets = flag.String("sleep-presets", "none,default", "comma-separated DPM sleep presets of the sleep ablation")
+
+		validateEvents = flag.Bool("validate-events", false, "validate every structured event and decision audit against the closed obs tables; exit non-zero on any violation")
 
 		quiet       = flag.Bool("quiet", false, "suppress the live progress line on stderr")
 		metricsOut  = flag.String("metrics-out", "", "write a Prometheus text-format snapshot aggregated over all runs to this file")
@@ -139,6 +147,11 @@ func main() {
 				fmt.Fprintln(os.Stderr, "eaexp:", err)
 			}
 		}()
+	}
+	var validator *eventValidator
+	if *validateEvents {
+		validator = &eventValidator{}
+		probes = append(probes, validator)
 	}
 	spec.Probe = obs.Multi(probes...)
 
@@ -302,6 +315,33 @@ func main() {
 		}
 		return writeCSV(*csv, "robustness.csv", b.String())
 	})
+	runOnly("slack", func() error {
+		factors, err := parseFloatList(*slackFactors)
+		if err != nil {
+			return err
+		}
+		res, err := experiment.SlackFactorSweep(spec, factors,
+			[]string{"lsa", "ea-dvfs", "lsa-reclaim", "ea-dvfs-reclaim"})
+		if err != nil {
+			return err
+		}
+		fmt.Println("Slack-factor sweep: stochastic-periodic workload, reclaiming vs plain policies")
+		return printSweep(res, *csv)
+	})
+	runOnly("sleep", func() error {
+		sp := spec
+		// The ablation compares presets per point; give it slack to sleep
+		// into so the states are actually entered.
+		sp.TaskModel = "stochastic-periodic"
+		res, err := experiment.SleepStateSweep(sp,
+			strings.Split(*sleepPresets, ","),
+			[]string{"lsa", "ea-dvfs"})
+		if err != nil {
+			return err
+		}
+		fmt.Println("Sleep-state ablation: DPM presets under a stochastic workload")
+		return printSweep(res, *csv)
+	})
 	runOnly("sens-predictors", func() error {
 		// Every registered predictor, enumerated rather than hardcoded: a
 		// freshly registered predictor joins the sensitivity sweep for free.
@@ -317,10 +357,17 @@ func main() {
 	switch *exp {
 	case "all", "fig5", "fig6", "fig7", "fig8", "fig9", "table1",
 		"sens-levels", "sens-pmax", "sens-tasks", "sens-predictors",
-		"overhead", "convergence", "robustness":
+		"overhead", "convergence", "robustness", "slack", "sleep":
 	default:
 		fmt.Fprintf(os.Stderr, "eaexp: unknown experiment %q\n", *exp)
 		os.Exit(2)
+	}
+
+	if validator != nil {
+		if err := validator.report(); err != nil {
+			fmt.Fprintln(os.Stderr, "eaexp: validate-events:", err)
+			os.Exit(1)
+		}
 	}
 }
 

@@ -59,7 +59,7 @@ type Config struct {
 	// Schema declares the JSON schema version of a serialized config:
 	// 0 or 1 mean the original unversioned v1 wire form, 2 the current
 	// one. Documents using the v2-only members (PolicyParams, TaskModel,
-	// TaskParams) must declare 2. The member is excluded from the
+	// TaskParams, Sleep) must declare 2. The member is excluded from the
 	// config's digest identity — internal/spec owns the migration and
 	// digest-stability contract (DESIGN.md §16). New fields here are
 	// omitempty and appended without reordering the originals: the
@@ -110,6 +110,13 @@ type Config struct {
 	// Schema 2 on the wire.
 	TaskModel  string         `json:"task_model,omitempty"`
 	TaskParams map[string]any `json:"task_params,omitempty"`
+
+	// Sleep names a DPM configuration (cpu.SleepPreset) attached to the
+	// processor: "" or "none" keeps the paper's model (no idle draw, no
+	// sleep states); "default" enables the nap/deep ladder over an idle
+	// draw of 5% of PMax, with break-even-gated entry. Requires Schema 2
+	// on the wire.
+	Sleep string `json:"sleep,omitempty"`
 
 	// Seed drives the workload generator and the solar sample path
 	// (default 1).
@@ -196,6 +203,18 @@ type Result struct {
 	// Degradation reports fault-induced degradation; all zero unless
 	// Config.FaultIntensity was set.
 	Degradation Degradation
+
+	// DPM accounting; all zero unless Config.Sleep names a preset with
+	// sleep states. Omitted from JSON when zero, so pre-existing
+	// WCET-exact, sleep-free responses keep their exact bytes.
+	SleepTime   float64 `json:",omitempty"` // time units spent in a sleep state
+	Wakeups     int     `json:",omitempty"` // sleep→active transitions
+	DPMOverhead float64 `json:",omitempty"` // transition energy drawn entering/exiting sleep
+
+	// Stochastic-execution accounting; all zero on WCET-exact runs.
+	DrawnJobs        int     `json:",omitempty"` // jobs whose actual work was drawn below WCET
+	EarlyCompletions int     `json:",omitempty"` // jobs that finished with budget unspent
+	ReclaimedWork    float64 `json:",omitempty"` // total unspent WCET budget (work at f_max)
 }
 
 func (c *Config) withDefaults() Config {
@@ -243,6 +262,15 @@ func RunContext(ctx context.Context, userCfg Config) (*Result, error) {
 	}
 
 	proc := cpu.XScaleScaled(cfg.PMax)
+	if cfg.Sleep != "" {
+		idle, states, err := cpu.SleepPreset(cfg.Sleep, proc.MaxPower())
+		if err != nil {
+			return nil, fmt.Errorf("eadvfs: %w", err)
+		}
+		if idle > 0 || len(states) > 0 {
+			proc = proc.WithDPM(idle, states)
+		}
+	}
 
 	// Resolve the energy source through the scenario registry: the
 	// facade's convenience fields name the registered kinds.
@@ -295,6 +323,7 @@ func RunContext(ctx context.Context, userCfg Config) (*Result, error) {
 		Store:           storage.New(cfg.Capacity, initial),
 		CPU:             proc,
 		Policy:          pf(),
+		ExecSeed:        cfg.Seed, // consulted only when the workload is stochastic
 		RecordEnergy:    cfg.RecordEnergy,
 		CheckInvariants: cfg.CheckInvariants,
 		Probe:           cfg.Probe,
@@ -345,6 +374,12 @@ func RunContext(ctx context.Context, userCfg Config) (*Result, error) {
 			Overruns:        res.Degradation.Overruns,
 		},
 	}
+	out.SleepTime = res.SleepTime
+	out.Wakeups = res.Wakeups
+	out.DPMOverhead = res.DPMOverhead
+	out.DrawnJobs = res.Slack.DrawnJobs
+	out.EarlyCompletions = res.Slack.EarlyCompletions
+	out.ReclaimedWork = res.Slack.ReclaimedWork
 	if res.EnergySeries != nil {
 		out.StoredEnergy = res.EnergySeries.Values
 	}

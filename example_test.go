@@ -59,4 +59,6 @@ func ExamplePolicies() {
 	// edf
 	// static-dvfs
 	// greedy-stretch
+	// ea-dvfs-reclaim
+	// lsa-reclaim
 }

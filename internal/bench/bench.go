@@ -49,6 +49,8 @@ func Cases() []Case {
 		{Name: "Table1WarmBisection", Run: runTable1Warm},
 		{Name: "RunManyBatch", Run: runRunManyBatch},
 		{Name: "Engine", Run: runEngine},
+		{Name: "EngineStochastic", Run: runEngineStochastic},
+		{Name: "EngineDPM", Run: runEngineDPM},
 		{Name: "ServiceRequestMiss", Run: runServiceMiss},
 		{Name: "ServiceRequestHit", Run: runServiceHit},
 	}
@@ -204,6 +206,88 @@ func runRunManyBatch(n int) (map[string]float64, error) {
 		out["missrate/ea-large"] = grid[last][1].Miss.Rate()
 	}
 	return out, nil
+}
+
+// runEngineStochastic measures the stochastic hot path — the per-job
+// actual-work draw at arrival plus the reclaiming decorator's EWMA
+// observation and speculative min-level scan at every decision — on the
+// raw engine: the §5.1 workload under the stochastic-periodic task model
+// scheduled by ea-dvfs-reclaim. The slack/* shape metrics pin the draw
+// stream and the reclamation outcomes bit-for-bit; Engine (above) is the
+// WCET-exact control whose allocs/op must not move when this subsystem
+// is disabled.
+func runEngineStochastic(n int) (map[string]float64, error) {
+	s := spec()
+	s.TaskModel = "stochastic-periodic"
+	s.TaskParams = map[string]any{"bc_ratio": 0.25}
+	pf, err := s.PolicyFor("ea-dvfs-reclaim")
+	if err != nil {
+		return nil, err
+	}
+	rep, err := experiment.Replicate(s, 0)
+	if err != nil {
+		return nil, err
+	}
+	rep.PrepareSource(s.Horizon)
+	var res *sim.Result
+	for i := 0; i < n; i++ {
+		cfg := &sim.Config{
+			Horizon:   s.Horizon,
+			Tasks:     rep.Tasks,
+			Source:    rep.Source(),
+			Predictor: energy.NewEWMA(0.2),
+			Store:     storage.NewIdeal(500),
+			CPU:       s.Processor(),
+			Policy:    pf(),
+			ExecSeed:  42,
+		}
+		if res, err = sim.Run(cfg); err != nil {
+			return nil, err
+		}
+	}
+	return map[string]float64{
+		"events/run":      float64(res.Events),
+		"slack/drawn":     float64(res.Slack.DrawnJobs),
+		"slack/early":     float64(res.Slack.EarlyCompletions),
+		"slack/reclaimed": res.Slack.ReclaimedWork,
+		"missrate":        res.Miss.Rate(),
+	}, nil
+}
+
+// runEngineDPM measures the sleep-state path — break-even gating,
+// enter/exit transition accounting and latency-aware wake scheduling —
+// on the raw engine: the WCET-exact §5.1 workload on the "default" DPM
+// preset under EA-DVFS. The dpm/* shape metrics pin the sleep schedule.
+func runEngineDPM(n int) (map[string]float64, error) {
+	s := spec()
+	s.Sleep = "default"
+	rep, err := experiment.Replicate(s, 0)
+	if err != nil {
+		return nil, err
+	}
+	rep.PrepareSource(s.Horizon)
+	var res *sim.Result
+	for i := 0; i < n; i++ {
+		cfg := &sim.Config{
+			Horizon:   s.Horizon,
+			Tasks:     rep.Tasks,
+			Source:    rep.Source(),
+			Predictor: energy.NewEWMA(0.2),
+			Store:     storage.NewIdeal(500),
+			CPU:       s.Processor(),
+			Policy:    core.NewEADVFS(),
+		}
+		if res, err = sim.Run(cfg); err != nil {
+			return nil, err
+		}
+	}
+	return map[string]float64{
+		"events/run":   float64(res.Events),
+		"dpm/sleep":    res.SleepTime,
+		"dpm/wakeups":  float64(res.Wakeups),
+		"dpm/overhead": res.DPMOverhead,
+		"missrate":     res.Miss.Rate(),
+	}, nil
 }
 
 func runEngine(n int) (map[string]float64, error) {

@@ -34,6 +34,33 @@ type Processor struct {
 	// assumes it "negligible" (§5.1); non-zero values are an extension.
 	switchTime   float64
 	switchEnergy float64
+
+	// sleepStates are the optional DPM states (WithSleepStates); empty in
+	// the paper's model. Each state's power must not exceed idlePower, so
+	// an idle window a sleep state fits into is never cut short by
+	// storage depletion the idle-power sustain check did not already see.
+	sleepStates []SleepState
+}
+
+// SleepState is one DPM low-power state: the processor draws Power while
+// asleep (less than the idle draw), pays EnterEnergy/ExitEnergy on the
+// transitions, and needs WakeLatency of wall-clock time to become
+// available again after a wake is initiated. The classic break-even rule
+// gates entry: sleeping only pays off when the idle window is long enough
+// to amortize the transition energy (SNIPPETS.md snippet 1's DPM angle).
+type SleepState struct {
+	Name        string
+	Power       float64 // draw while asleep, <= the processor's idle power
+	EnterEnergy float64 // energy to enter the state
+	ExitEnergy  float64 // energy to leave the state
+	WakeLatency float64 // time from wake initiation to availability
+}
+
+// WithSleepStates declares the processor's DPM sleep states, ordered
+// shallow to deep. Validation against the idle power happens in New,
+// after every option has been applied.
+func WithSleepStates(states ...SleepState) Option {
+	return func(c *Processor) { c.sleepStates = append([]SleepState(nil), states...) }
 }
 
 // Option configures optional processor features.
@@ -92,6 +119,25 @@ func New(name string, points []OperatingPoint, opts ...Option) *Processor {
 	c := &Processor{name: name, points: pts, speeds: speeds}
 	for _, o := range opts {
 		o(c)
+	}
+	for i, s := range c.sleepStates {
+		switch {
+		case s.Name == "":
+			panic(fmt.Sprintf("cpu: sleep state %d without a name", i))
+		case s.Power < 0 || math.IsNaN(s.Power):
+			panic(fmt.Sprintf("cpu: sleep state %q: invalid power %v", s.Name, s.Power))
+		case s.Power > c.idlePower:
+			panic(fmt.Sprintf("cpu: sleep state %q: power %v exceeds idle power %v", s.Name, s.Power, c.idlePower))
+		case s.EnterEnergy < 0 || math.IsNaN(s.EnterEnergy) || s.ExitEnergy < 0 || math.IsNaN(s.ExitEnergy):
+			panic(fmt.Sprintf("cpu: sleep state %q: negative transition energy", s.Name))
+		case s.WakeLatency < 0 || math.IsNaN(s.WakeLatency) || math.IsInf(s.WakeLatency, 0):
+			panic(fmt.Sprintf("cpu: sleep state %q: invalid wake latency %v", s.Name, s.WakeLatency))
+		}
+		for _, prev := range c.sleepStates[:i] {
+			if prev.Name == s.Name {
+				panic(fmt.Sprintf("cpu: duplicate sleep state %q", s.Name))
+			}
+		}
 	}
 	return c
 }
@@ -311,4 +357,101 @@ func (c *Processor) checkLevel(n int) {
 	if n < 0 || n >= len(c.points) {
 		panic(fmt.Sprintf("cpu: level %d outside [0, %d)", n, len(c.points)))
 	}
+}
+
+// SleepLevels returns the number of declared DPM sleep states (0 in the
+// paper's model).
+func (c *Processor) SleepLevels() int { return len(c.sleepStates) }
+
+// SleepState returns sleep state i.
+func (c *Processor) SleepState(i int) SleepState {
+	if i < 0 || i >= len(c.sleepStates) {
+		panic(fmt.Sprintf("cpu: sleep state %d outside [0, %d)", i, len(c.sleepStates)))
+	}
+	return c.sleepStates[i]
+}
+
+// BreakEven returns the minimal time asleep in state i for the transition
+// energy to pay off against plain idling:
+//
+//	(idle − sleep) · T >= Enter + Exit  ⇒  T_be = (Enter+Exit)/(idle−sleep).
+//
+// +Inf when the state saves no power over idling (it is then never
+// eligible).
+func (c *Processor) BreakEven(i int) float64 {
+	s := c.SleepState(i)
+	saving := c.idlePower - s.Power
+	if saving <= 0 {
+		return math.Inf(1)
+	}
+	return (s.EnterEnergy + s.ExitEnergy) / saving
+}
+
+// DeepestSleepFor returns the index of the lowest-power sleep state whose
+// break-even time plus wake latency fits the guaranteed idle window, or
+// -1 when none does (ties keep the first declared). This is the gate of
+// the engine's idle manager: a state that does not fit is a net loss, so
+// the processor stays in plain idle.
+func (c *Processor) DeepestSleepFor(window float64) int {
+	best := -1
+	for i := range c.sleepStates {
+		s := c.sleepStates[i]
+		if window < c.BreakEven(i)+s.WakeLatency || window <= s.WakeLatency {
+			continue
+		}
+		if best < 0 || s.Power < c.sleepStates[best].Power {
+			best = i
+		}
+	}
+	return best
+}
+
+// DefaultSleepStates returns a two-state nap/deep DPM ladder scaled to an
+// idle power draw: a shallow state with a short break-even and a deep
+// state that nearly powers down but costs real transition energy and a
+// long wake latency. Representative of sensor-node MCU sleep modes.
+func DefaultSleepStates(idle float64) []SleepState {
+	if idle < 0 {
+		panic(fmt.Sprintf("cpu: negative idle power %v", idle))
+	}
+	return []SleepState{
+		{Name: "nap", Power: 0.3 * idle, EnterEnergy: 0.1 * idle, ExitEnergy: 0.1 * idle, WakeLatency: 0.05},
+		{Name: "deep", Power: 0.02 * idle, EnterEnergy: 0.5 * idle, ExitEnergy: 0.5 * idle, WakeLatency: 0.5},
+	}
+}
+
+// SleepPreset resolves a named DPM configuration for wire-level specs:
+// "" and "none" mean no DPM (zero idle power, no states); "default" is
+// the DefaultSleepStates ladder over an idle draw of 5% of pmax. The
+// returned idle power and states are applied together (WithIdlePower +
+// WithSleepStates) — DPM is only meaningful against a non-zero idle draw.
+func SleepPreset(name string, pmax float64) (idle float64, states []SleepState, err error) {
+	switch name {
+	case "", "none":
+		return 0, nil, nil
+	case "default":
+		idle = 0.05 * pmax
+		return idle, DefaultSleepStates(idle), nil
+	default:
+		return 0, nil, fmt.Errorf("cpu: unknown sleep preset %q", name)
+	}
+}
+
+// SleepPresetNames enumerates the named DPM configurations SleepPreset
+// resolves, in stable order ("none" first — the paper's DPM-free model).
+// The capabilities document serves the list so a coordinator can plan
+// sleep ablations against a worker build without guessing names.
+func SleepPresetNames() []string { return []string{"none", "default"} }
+
+// WithDPM returns a copy of the processor with the given idle power and
+// sleep states attached, revalidated through New. The preset constructors
+// (XScale, TwoSpeed, …) build their operating-point tables without
+// options; this is how the wire layers (verify.Spec.Sleep,
+// eadvfs.Config.Sleep) bolt a SleepPreset configuration onto one of them
+// after the fact. Switch overheads carry over unchanged.
+func (c *Processor) WithDPM(idle float64, states []SleepState) *Processor {
+	return New(c.name, c.points,
+		WithIdlePower(idle),
+		WithSwitchOverhead(c.switchTime, c.switchEnergy),
+		WithSleepStates(states...))
 }

@@ -188,6 +188,12 @@ type Spec struct {
 	TaskModel  string         `json:"task_model,omitempty"`
 	TaskParams map[string]any `json:"task_params,omitempty"`
 
+	// Sleep names the processor's DPM sleep preset ("" or "none" runs
+	// without DPM, "default" attaches the standard nap/deep pair — see
+	// cpu.SleepPreset). Schema v2 member, omitted when unset so v1
+	// documents and their digests are unchanged.
+	Sleep string `json:"sleep,omitempty"`
+
 	// PredictorAlpha overrides the smoothing factor of the "ewma" and
 	// "slot-ewma" predictors; 0 keeps each predictor's built-in default.
 	// Flag-sourced values are validated through the energy package's
@@ -224,8 +230,21 @@ type Spec struct {
 	Spans obs.SpanSink `json:"-"`
 }
 
-// Processor returns the spec's calibrated XScale processor.
-func (s Spec) Processor() *cpu.Processor { return cpu.XScaleScaled(s.PMax) }
+// Processor returns the spec's calibrated XScale processor, with the
+// spec's DPM sleep preset attached when one names any sleep machinery.
+// Validate rejects unknown preset names before any run, so resolution
+// here cannot fail.
+func (s Spec) Processor() *cpu.Processor {
+	p := cpu.XScaleScaled(s.PMax)
+	idle, states, err := cpu.SleepPreset(s.Sleep, p.MaxPower())
+	if err != nil {
+		panic(err)
+	}
+	if idle > 0 || len(states) > 0 {
+		p = p.WithDPM(idle, states)
+	}
+	return p
+}
 
 // DefaultSpec returns the paper's setup with a CI-friendly replication
 // count (the paper's 5 000 is available by overriding Replications).
@@ -270,6 +289,9 @@ func (s Spec) Validate() error {
 		}
 	}
 	if _, err := s.PredictorFor(s.Predictor); err != nil {
+		return err
+	}
+	if _, _, err := cpu.SleepPreset(s.Sleep, 1); err != nil {
 		return err
 	}
 	model, err := registry.TaskModel(s.TaskModel)
@@ -395,6 +417,16 @@ func Replicate(s Spec, r int) (Replication, error) {
 	return Replication{Index: r, Tasks: tasks, SourceSeed: srcSeed}, nil
 }
 
+// execSeedOf derives a replication's execution-draw seed: a pure
+// function of the replication identity (so paired policy/capacity runs
+// share the same per-job draws), decorrelated from the solar seed so
+// the two stochastic streams never accidentally alias. Consulted by the
+// engine only when the workload is stochastic — WCET-exact runs never
+// observe it.
+func execSeedOf(rep Replication) uint64 {
+	return rep.SourceSeed ^ 0xbf58476d1ce4e5b9
+}
+
 // RunOne executes a single simulation of replication rep at the given
 // capacity under the given policy, with the spec's predictor. The store
 // starts full (§5.1).
@@ -421,6 +453,7 @@ func RunOneCtx(ctx context.Context, s Spec, rep Replication, capacity float64, p
 		CPU:          s.Processor(),
 		Policy:       pf(),
 		RecordEnergy: record,
+		ExecSeed:     execSeedOf(rep),
 		MaxEvents:    defaultEventBudget(s.Horizon),
 		Probe:        s.Probe,
 	}

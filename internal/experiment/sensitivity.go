@@ -189,6 +189,68 @@ func PredictorSweep(s Spec, predictors []string, policyNames []string) (*Sensiti
 	return res, nil
 }
 
+// SlackFactorSweep measures the miss rate as the workload's best-case /
+// worst-case execution ratio varies under the "stochastic-periodic" task
+// model: lower points mean jobs usually finish well before their WCET
+// budget, handing reclaiming policies (ea-dvfs-reclaim, lsa-reclaim)
+// dynamic slack to stretch into. The spec's own TaskParams ride along —
+// only "bc_ratio" is overridden per point — so the distribution shape
+// ("dist", "mean", …) is still the caller's choice.
+func SlackFactorSweep(s Spec, factors []float64, policyNames []string) (*SensitivityResult, error) {
+	return runSweep(s, "bc-ratio", factors, policyNames,
+		func(s Spec, rep Replication, point float64, pf PolicyFactory) (*sim.Result, error) {
+			if point <= 0 || point > 1 {
+				return nil, fmt.Errorf("experiment: best-case ratio %v outside (0,1]", point)
+			}
+			sp := s
+			sp.TaskModel = "stochastic-periodic"
+			params := make(map[string]any, len(s.TaskParams)+1)
+			for k, v := range s.TaskParams {
+				params[k] = v
+			}
+			params["bc_ratio"] = point
+			sp.TaskParams = params
+			// Re-derive the workload: the execution spec is part of the
+			// task set. The source seed is not, so adopt the original
+			// replication's prepared solar master.
+			rep2, err := Replicate(sp, repIndexOf(rep))
+			if err != nil {
+				return nil, err
+			}
+			rep2.AdoptSource(rep)
+			return runWith(sp, rep2, defaultSweepCapacity, pf, sp.Processor(), sp.Predictor)
+		})
+}
+
+// SleepStateSweep measures the miss rate under each named DPM sleep
+// preset (sweep "points" are indices into the names slice) — the
+// sleep-state ablation. "none" is the DPM-free baseline; "default"
+// attaches cpu.DefaultSleepStates. An unknown preset name is an error,
+// not a silent baseline run.
+func SleepStateSweep(s Spec, presets []string, policyNames []string) (*SensitivityResult, error) {
+	points := make([]float64, len(presets))
+	for i := range presets {
+		points[i] = float64(i)
+	}
+	res, err := runSweep(s, "sleep", points, policyNames,
+		func(s Spec, rep Replication, point float64, pf PolicyFactory) (*sim.Result, error) {
+			proc := cpu.XScaleScaled(s.PMax)
+			idle, states, err := cpu.SleepPreset(presets[int(point)], proc.MaxPower())
+			if err != nil {
+				return nil, err
+			}
+			if idle > 0 || len(states) > 0 {
+				proc = proc.WithDPM(idle, states)
+			}
+			return runWith(s, rep, defaultSweepCapacity, pf, proc, s.Predictor)
+		})
+	if err != nil {
+		return nil, err
+	}
+	res.Labels = append([]string(nil), presets...)
+	return res, nil
+}
+
 // runWith is RunOne with an explicit processor and predictor name.
 func runWith(s Spec, rep Replication, capacity float64, pf PolicyFactory, proc *cpu.Processor, predictor string) (*sim.Result, error) {
 	predF, err := Predictor(predictor)
@@ -204,6 +266,7 @@ func runWith(s Spec, rep Replication, capacity float64, pf PolicyFactory, proc *
 		Store:     storage.NewIdeal(capacity),
 		CPU:       proc,
 		Policy:    pf(),
+		ExecSeed:  execSeedOf(rep),
 		Probe:     s.Probe,
 	})
 	s.recordRun(res)

@@ -34,6 +34,11 @@ const (
 	KindSegment EventKind = "segment"
 	// KindCompletion: a job finished all its work.
 	KindCompletion EventKind = "completion"
+	// KindEarlyCompletion: a completing job left unspent WCET budget —
+	// its drawn actual work came in under the declared worst case
+	// (stochastic execution, task.ExecSpec / sim.Config.BCWCRatio).
+	// Always emitted immediately after the job's KindCompletion.
+	KindEarlyCompletion EventKind = "early-completion"
 	// KindMiss: a job's deadline passed with work remaining.
 	KindMiss EventKind = "miss"
 	// KindStall: the store was exhausted with a job selected (§4.2).
@@ -51,7 +56,7 @@ const (
 func KnownEventKinds() []EventKind {
 	return []EventKind{
 		KindArrival, KindDispatch, KindSegment, KindCompletion,
-		KindMiss, KindStall, KindFault, KindInvariant,
+		KindEarlyCompletion, KindMiss, KindStall, KindFault, KindInvariant,
 	}
 }
 
@@ -65,7 +70,7 @@ type Event struct {
 	Seq    int
 	Level  int
 	Start  float64
-	Mode   string // segment activity: "run", "idle", "stall"
+	Mode   string // segment activity: "run", "idle", "stall", "sleep"
 	Detail string // fault/invariant specifics
 }
 
@@ -95,6 +100,16 @@ const (
 	ReasonIdleRecharge Reason = "idle:recharge"
 	// ReasonIdleNoJob: the ready queue is empty.
 	ReasonIdleNoJob Reason = "idle:no-job"
+	// ReasonStretchReclaimed: a slack-reclaiming decorator lowered the
+	// inner policy's operating point, speculating on the task's observed
+	// early completions (Leung/Tsui-style reclamation). The latest safe
+	// full-budget start still guards the deadline.
+	ReasonStretchReclaimed Reason = "stretch:reclaimed"
+	// ReasonFullSpeedReclaimGuard: the reclaiming decorator wanted to
+	// speculate but the latest safe start was reached — the inner
+	// decision passes through untouched so the full WCET budget still
+	// fits before the deadline.
+	ReasonFullSpeedReclaimGuard Reason = "full-speed:reclaim-guard"
 )
 
 // KnownReasons lists every reason code policies emit, in a stable order.
@@ -103,6 +118,7 @@ func KnownReasons() []Reason {
 		ReasonFullSpeedEnergyRich, ReasonFullSpeedEnergyPoor,
 		ReasonFullSpeedInfeasible, ReasonStretchSlackRich,
 		ReasonIdleRecharge, ReasonIdleNoJob,
+		ReasonStretchReclaimed, ReasonFullSpeedReclaimGuard,
 	}
 }
 

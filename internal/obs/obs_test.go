@@ -53,7 +53,8 @@ func TestRecorderAccessorsCopy(t *testing.T) {
 func TestKnownSetsAreComplete(t *testing.T) {
 	kinds := KnownEventKinds()
 	wantKinds := []EventKind{KindArrival, KindDispatch, KindSegment,
-		KindCompletion, KindMiss, KindStall, KindFault, KindInvariant}
+		KindCompletion, KindEarlyCompletion, KindMiss, KindStall,
+		KindFault, KindInvariant}
 	if len(kinds) != len(wantKinds) {
 		t.Fatalf("KnownEventKinds has %d entries, want %d", len(kinds), len(wantKinds))
 	}
@@ -73,7 +74,7 @@ func TestKnownSetsAreComplete(t *testing.T) {
 	reasons := KnownReasons()
 	wantReasons := []Reason{ReasonFullSpeedEnergyRich, ReasonFullSpeedEnergyPoor,
 		ReasonFullSpeedInfeasible, ReasonStretchSlackRich, ReasonIdleRecharge,
-		ReasonIdleNoJob}
+		ReasonIdleNoJob, ReasonStretchReclaimed, ReasonFullSpeedReclaimGuard}
 	if len(reasons) != len(wantReasons) {
 		t.Fatalf("KnownReasons has %d entries, want %d", len(reasons), len(wantReasons))
 	}

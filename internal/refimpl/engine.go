@@ -154,6 +154,13 @@ type engine struct {
 	decideAt      float64
 	decidePending bool
 
+	// DPM state, mirroring the optimized engine's idle manager.
+	sleeping  bool
+	sleepIdx  int
+	sleepWake float64
+	waking    bool
+	wakeDone  float64
+
 	simNow     float64
 	dispatched uint64
 
@@ -201,7 +208,7 @@ func Run(cfg *sim.Config) (*sim.Result, error) {
 		},
 	}
 	e.initialLevel = cfg.Store.Level()
-	if cfg.BCWCRatio > 0 && cfg.BCWCRatio < 1 {
+	if cfg.Stochastic() {
 		seed := cfg.ExecSeed
 		if seed == 0 {
 			seed = 1
@@ -335,6 +342,8 @@ func (e *engine) cpuPower() float64 {
 		return e.cfg.CPU.Power(e.level)
 	case sim.ModeIdle:
 		return e.cfg.CPU.IdlePower()
+	case sim.ModeSleep:
+		return e.cfg.CPU.SleepState(e.level).Power
 	default:
 		return 0
 	}
@@ -359,6 +368,9 @@ func (e *engine) syncTo(now float64) {
 		case sim.ModeIdle:
 			e.res.IdleTime += dt
 			e.res.CPUEnergy += delivered
+		case sim.ModeSleep:
+			e.res.SleepTime += dt
+			e.res.CPUEnergy += delivered
 		case sim.ModeStall:
 			e.res.StallTime += dt
 		}
@@ -368,7 +380,8 @@ func (e *engine) syncTo(now float64) {
 }
 
 func (e *engine) setActivity(now float64, mode sim.Mode, j *task.Job, level int) {
-	if mode == e.mode && j == e.running && (mode != sim.ModeRun || level == e.level) {
+	if mode == e.mode && j == e.running &&
+		(mode != sim.ModeRun && mode != sim.ModeSleep || level == e.level) {
 		return
 	}
 	e.closeSegment(now)
@@ -462,10 +475,20 @@ func (e *engine) onArrival(now float64, j *task.Job) {
 	actual := j.WCET
 	drawn := false
 	if e.execRNG != nil {
-		stream := uint64(j.TaskID)<<32 ^ uint64(j.Seq)
-		r := e.execRNG.Child(stream)
-		actual = j.WCET * r.Uniform(e.cfg.BCWCRatio, 1)
-		drawn = true
+		if j.Exec != nil {
+			stream := uint64(j.TaskID)<<32 ^ uint64(j.Seq)
+			r := e.execRNG.Child(stream)
+			actual = j.WCET * j.Exec.Ratio(r, j.Seq)
+			drawn = true
+		} else if e.cfg.BCWCRatio > 0 && e.cfg.BCWCRatio < 1 {
+			stream := uint64(j.TaskID)<<32 ^ uint64(j.Seq)
+			r := e.execRNG.Child(stream)
+			actual = j.WCET * r.Uniform(e.cfg.BCWCRatio, 1)
+			drawn = true
+		}
+	}
+	if drawn {
+		e.res.Slack.DrawnJobs++
 	}
 	if of := e.faults.OverrunFactor(j.TaskID, j.Seq); of > 1 {
 		actual *= of
@@ -486,6 +509,7 @@ func (e *engine) onArrival(now float64, j *task.Job) {
 		e.res.Miss.Finished++
 		e.finishStats(j, now)
 		e.emit(now, "completion", j)
+		e.noteReclaimed(now, j)
 		return
 	}
 	e.ready.push(j)
@@ -556,7 +580,17 @@ func (e *engine) finishIfDone(now float64) {
 			e.finishStats(j, now)
 		}
 		e.emit(now, "completion", j)
+		e.noteReclaimed(now, j)
 		e.setActivity(now, sim.ModeIdle, nil, 0)
+	}
+}
+
+// noteReclaimed mirrors the optimized engine's early-completion tally.
+func (e *engine) noteReclaimed(now float64, j *task.Job) {
+	if rem := j.Remaining(); rem > workEps {
+		e.res.Slack.EarlyCompletions++
+		e.res.Slack.ReclaimedWork += rem
+		e.emit(now, "early-completion", j)
 	}
 }
 
@@ -575,6 +609,16 @@ func (e *engine) onDecide(now float64) {
 
 	e.segTime = math.Inf(1)
 
+	// DPM: a wake transition in progress blocks scheduling.
+	if e.waking {
+		if now < e.wakeDone {
+			e.scheduleSegmentEnd(now, math.Inf(1), e.wakeDone)
+			return
+		}
+		e.waking, e.sleeping = false, false
+		e.setActivity(now, sim.ModeIdle, nil, 0)
+	}
+
 	// Unpooled: a fresh Context per decision, the straightforward way.
 	ctx := sched.Context{
 		Now:       now,
@@ -583,6 +627,7 @@ func (e *engine) onDecide(now float64) {
 		Capacity:  e.cfg.Store.Capacity(),
 		CPU:       e.cfg.CPU,
 		Predictor: e.cfg.Predictor,
+		Reclaimed: e.res.Slack.ReclaimedWork,
 		Probe:     e.cfg.Probe,
 	}
 	d := e.cfg.Policy.Decide(&ctx)
@@ -593,6 +638,14 @@ func (e *engine) onDecide(now float64) {
 	}
 
 	if d.Job == nil {
+		if e.sleeping {
+			if now < e.sleepWake {
+				e.scheduleSegmentEnd(now, math.Inf(1), e.sleepWake)
+				return
+			}
+			e.initiateWake(now)
+			return
+		}
 		e.setActivity(now, sim.ModeIdle, nil, 0)
 		until := d.Until
 		if idle := e.cfg.CPU.IdlePower(); idle > 0 {
@@ -603,7 +656,17 @@ func (e *engine) onDecide(now float64) {
 			}
 			until = math.Min(until, now+sustain)
 		}
+		if e.cfg.CPU.SleepLevels() > 0 {
+			e.maybeSleep(now, until)
+			if e.sleeping {
+				return
+			}
+		}
 		e.scheduleSegmentEnd(now, math.Inf(1), until)
+		return
+	}
+	if e.sleeping {
+		e.initiateWake(now)
 		return
 	}
 	if d.Job.Done() {
@@ -638,6 +701,41 @@ func (e *engine) onDecide(now float64) {
 	e.setActivity(now, sim.ModeRun, d.Job, level)
 	completion := now + d.Job.ActualRemaining()/e.cfg.CPU.Speed(level)
 	e.scheduleSegmentEnd(now, completion, math.Min(d.Until, now+sustain))
+}
+
+// maybeSleep mirrors the optimized engine's DPM idle manager bit for bit.
+func (e *engine) maybeSleep(now, until float64) {
+	winEnd := math.Min(until, e.cfg.Horizon)
+	if e.nextArrival < len(e.release) {
+		winEnd = math.Min(winEnd, e.release[e.nextArrival].Arrival)
+	}
+	idx := e.cfg.CPU.DeepestSleepFor(winEnd - now)
+	if idx < 0 {
+		return
+	}
+	st := e.cfg.CPU.SleepState(idx)
+	if st.EnterEnergy > 0 {
+		e.cfg.Store.Draw(st.EnterEnergy)
+	}
+	e.res.DPMOverhead += st.EnterEnergy
+	e.sleeping = true
+	e.sleepIdx = idx
+	e.sleepWake = winEnd - st.WakeLatency
+	e.setActivity(now, sim.ModeSleep, nil, idx)
+	e.scheduleSegmentEnd(now, math.Inf(1), e.sleepWake)
+}
+
+// initiateWake mirrors the optimized engine's sleep-exit transition.
+func (e *engine) initiateWake(now float64) {
+	st := e.cfg.CPU.SleepState(e.sleepIdx)
+	if st.ExitEnergy > 0 {
+		e.cfg.Store.Draw(st.ExitEnergy)
+	}
+	e.res.DPMOverhead += st.ExitEnergy
+	e.res.Wakeups++
+	e.waking = true
+	e.wakeDone = now + st.WakeLatency
+	e.scheduleSegmentEnd(now, math.Inf(1), e.wakeDone)
 }
 
 func (e *engine) scheduleSegmentEnd(now, completion, until float64) {

@@ -1,6 +1,9 @@
 package registry
 
-import "github.com/eadvfs/eadvfs/internal/spec"
+import (
+	"github.com/eadvfs/eadvfs/internal/cpu"
+	"github.com/eadvfs/eadvfs/internal/spec"
+)
 
 // Capability is the wire form of one registration: its name, help text
 // and parameter schema, exactly as registered. GET /v1/capabilities
@@ -20,6 +23,11 @@ type Capabilities struct {
 	Sources    []Capability `json:"sources"`
 	Predictors []Capability `json:"predictors"`
 	TaskModels []Capability `json:"task_models"`
+
+	// SleepPresets names the DPM configurations the v2 "sleep" spec
+	// member accepts (cpu.SleepPresetNames) — not a registry axis, but
+	// part of what a coordinator must know to plan sleep ablations.
+	SleepPresets []string `json:"sleep_presets"`
 }
 
 func capOf(name, help string, params []Param) Capability {
@@ -31,11 +39,12 @@ func Snapshot() Capabilities {
 	reg.mu.RLock()
 	defer reg.mu.RUnlock()
 	out := Capabilities{
-		Schema:     spec.Current,
-		Policies:   make([]Capability, 0, len(reg.policies)),
-		Sources:    make([]Capability, 0, len(reg.sources)),
-		Predictors: make([]Capability, 0, len(reg.predictors)),
-		TaskModels: make([]Capability, 0, len(reg.taskModels)),
+		Schema:       spec.Current,
+		Policies:     make([]Capability, 0, len(reg.policies)),
+		Sources:      make([]Capability, 0, len(reg.sources)),
+		Predictors:   make([]Capability, 0, len(reg.predictors)),
+		TaskModels:   make([]Capability, 0, len(reg.taskModels)),
+		SleepPresets: cpu.SleepPresetNames(),
 	}
 	for _, d := range reg.policies {
 		out.Policies = append(out.Policies, capOf(d.Name, d.Help, d.Params))

@@ -1,0 +1,147 @@
+package registry
+
+import (
+	"github.com/eadvfs/eadvfs/internal/core"
+	"github.com/eadvfs/eadvfs/internal/refimpl"
+	"github.com/eadvfs/eadvfs/internal/rng"
+	"github.com/eadvfs/eadvfs/internal/sched"
+	"github.com/eadvfs/eadvfs/internal/task"
+	"github.com/eadvfs/eadvfs/internal/workload"
+)
+
+// Stochastic-execution scenario registrations (internal/workload): the
+// slack-reclaiming policy decorators and the stochastic-periodic task
+// model. They live in their own file rather than builtin.go because the
+// enumeration order is public API — Go runs package init functions in
+// file-name order, so builtin.go's registrations keep their positions
+// and these append after them. internal/workload must not import this
+// package (the import runs the other way), which is why the parameter
+// unpacking happens here, in the registration closures.
+
+// reclaimParams is the shared parameter schema of the reclaiming
+// decorators.
+func reclaimParams() []Param {
+	return []Param{
+		{
+			Name: "reclaim_alpha", Type: TypeFloat, Default: 0.5,
+			Help: "EWMA weight of a fresh actual/WCET observation, in (0, 1]",
+			Min:  floatPtr(0), Max: floatPtr(1),
+		},
+		{
+			Name: "min_ratio", Type: TypeFloat, Default: 0.1,
+			Help: "floor on the speculative execution-time ratio, in [0, 1]",
+			Min:  floatPtr(0), Max: floatPtr(1),
+		},
+	}
+}
+
+func init() {
+	registerWorkloadPolicies()
+	registerWorkloadTaskModels()
+}
+
+func registerWorkloadPolicies() {
+	RegisterPolicy(PolicyDef{
+		Name:   "ea-dvfs-reclaim",
+		Help:   "EA-DVFS under a Leung/Tsui-style online slack reclaimer: speculates on observed early completions, guarded by the latest safe full-budget start",
+		Params: reclaimParams(),
+		New: func(p Params) (sched.Policy, error) {
+			return workload.NewReclaimer("ea-dvfs-reclaim", core.NewEADVFS(),
+				p.Float("reclaim_alpha", 0.5), p.Float("min_ratio", 0.1)), nil
+		},
+		Ref: func(p Params) (sched.Policy, error) {
+			return refimpl.NewReclaimer("ea-dvfs-reclaim", refimpl.NewEADVFS(),
+				p.Float("reclaim_alpha", 0.5), p.Float("min_ratio", 0.1)), nil
+		},
+	})
+	RegisterPolicy(PolicyDef{
+		Name:   "lsa-reclaim",
+		Help:   "lazy scheduling under the same online slack reclaimer (gives LSA the DVFS lever it natively lacks)",
+		Params: reclaimParams(),
+		New: func(p Params) (sched.Policy, error) {
+			return workload.NewReclaimer("lsa-reclaim", sched.LSA{},
+				p.Float("reclaim_alpha", 0.5), p.Float("min_ratio", 0.1)), nil
+		},
+		Ref: func(p Params) (sched.Policy, error) {
+			return refimpl.NewReclaimer("lsa-reclaim", refimpl.LSA{},
+				p.Float("reclaim_alpha", 0.5), p.Float("min_ratio", 0.1)), nil
+		},
+	})
+}
+
+func registerWorkloadTaskModels() {
+	RegisterTaskModel(TaskModelDef{
+		Name: "stochastic-periodic",
+		Help: "the §5.1 periodic workload with per-job actual execution drawn from a distribution bounded by WCET (uniform, truncated normal, bimodal, or a replayed utilization trace)",
+		Params: []Param{
+			{
+				Name: "periods", Type: TypeFloats,
+				Help: "period menu; defaults to the paper's {10, 20, …, 100}",
+			},
+			{
+				Name: "dist", Type: TypeString, Default: task.DistUniform,
+				Help: "execution-time distribution: uniform, normal, bimodal or trace",
+			},
+			{
+				Name: "bc_ratio", Type: TypeFloat, Default: 0.25,
+				Help: "best-case/worst-case execution ratio (lower bound of every draw)",
+				Min:  floatPtr(0), Max: floatPtr(1),
+			},
+			{
+				Name: "mean", Type: TypeFloat, Default: 0.6,
+				Help: "normal: mean actual/WCET ratio",
+				Min:  floatPtr(0), Max: floatPtr(1),
+			},
+			{
+				Name: "stddev", Type: TypeFloat, Default: 0.15,
+				Help: "normal: ratio standard deviation",
+				Min:  floatPtr(0),
+			},
+			{
+				Name: "fast_prob", Type: TypeFloat, Default: 0.7,
+				Help: "bimodal: probability of the fast (cache-hit) lobe",
+				Min:  floatPtr(0), Max: floatPtr(1),
+			},
+			{
+				Name: "fast_ratio", Type: TypeFloat, Default: 0.5,
+				Help: "bimodal: ratio boundary between the fast and slow lobes",
+				Min:  floatPtr(0), Max: floatPtr(1),
+			},
+			{
+				Name: "slots", Type: TypeFloats,
+				Help: "trace: per-slot actual/WCET ratios, wrapped by job sequence (see workload.ReadSlotCSV)",
+			},
+		},
+		Generate: func(g TaskGen, p Params, r *rng.RNG) ([]task.Task, error) {
+			periods := p.Floats("periods")
+			if len(periods) == 0 {
+				periods = task.PaperPeriods()
+			}
+			// Only the chosen distribution's knobs land on the spec, so the
+			// serialized task set (manifests, wire documents) carries no
+			// irrelevant members; an unknown dist falls through to the
+			// spec's own validation.
+			exec := task.ExecSpec{
+				Dist:    p.Str("dist", task.DistUniform),
+				BCRatio: p.Float("bc_ratio", 0.25),
+			}
+			switch exec.Dist {
+			case task.DistNormal:
+				exec.Mean = p.Float("mean", 0.6)
+				exec.StdDev = p.Float("stddev", 0.15)
+			case task.DistBimodal:
+				exec.FastProb = p.Float("fast_prob", 0.7)
+				exec.FastRatio = p.Float("fast_ratio", 0.5)
+			case task.DistTrace:
+				exec.Slots = p.Floats("slots")
+			}
+			return workload.StochasticPeriodic(task.GeneratorConfig{
+				NumTasks:         g.NumTasks,
+				Periods:          periods,
+				MeanHarvestPower: g.MeanHarvestPower,
+				PMax:             g.PMax,
+				TargetU:          g.TargetU,
+			}, exec, r)
+		},
+	})
+}

@@ -33,6 +33,13 @@ type Context struct {
 	CPU       *cpu.Processor
 	Predictor energy.Predictor
 
+	// Reclaimed is the cumulative WCET budget (work units at f_max) that
+	// completed jobs have left unspent so far in this run — the engine's
+	// authoritative early-completion tally, and the raw material of
+	// online slack reclamation (internal/workload). Zero when every job
+	// runs to its declared worst case.
+	Reclaimed float64
+
 	// Probe, when non-nil, receives decision-audit records
 	// (internal/obs). Policies emit through Audit, which nil-checks, so
 	// the disabled path stays allocation-free.

@@ -1,0 +1,34 @@
+package service
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata goldens from the current registry")
+
+// TestCapabilitiesGolden pins the rendered GET /v1/capabilities body
+// byte-for-byte. The document is a build fingerprint — the fabric
+// coordinator compares worker bodies to check fleet homogeneity — so any
+// change to it (a new registration, a reworded help string, a schema
+// tweak) must be a conscious decision, recorded by regenerating the
+// golden with `go test ./internal/service -run Golden -update`. When no
+// new registrations are present the document must not move at all.
+func TestCapabilitiesGolden(t *testing.T) {
+	const golden = "testdata/capabilities.golden"
+	got := capabilitiesBytes()
+	if *updateGolden {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("capabilities document drifted from golden.\nIf the change is intentional (new registration, help text), regenerate with -update.\ngot:  %s\nwant: %s", got, want)
+	}
+}

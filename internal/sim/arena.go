@@ -155,7 +155,7 @@ func (a *Arena) Run(cfg *Config) (*Result, error) {
 		e.inv = &invariantChecker{probe: cfg.Probe}
 	}
 	e.initialLevel = cfg.Store.Level()
-	if cfg.BCWCRatio > 0 && cfg.BCWCRatio < 1 {
+	if cfg.Stochastic() {
 		seed := cfg.ExecSeed
 		if seed == 0 {
 			seed = 1

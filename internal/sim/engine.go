@@ -56,6 +56,7 @@ const (
 	ModeIdle  Mode = iota // no job selected; harvesting only
 	ModeRun               // executing a job at some operating point
 	ModeStall             // job selected but storage exhausted (§4.2)
+	ModeSleep             // parked in a DPM sleep state (cpu.SleepState)
 )
 
 // String returns the mode name.
@@ -67,6 +68,8 @@ func (m Mode) String() string {
 		return "run"
 	case ModeStall:
 		return "stall"
+	case ModeSleep:
+		return "sleep"
 	default:
 		return fmt.Sprintf("mode(%d)", int(m))
 	}
@@ -116,7 +119,8 @@ type Config struct {
 	// slack-reclamation extension: each job's actual work is drawn
 	// uniformly from [BCWCRatio·WCET, WCET], while schedulers keep
 	// budgeting the full WCET. 0 or 1 reproduces the paper's model
-	// (actual = WCET).
+	// (actual = WCET). A per-task distribution (task.ExecSpec on the
+	// task) takes precedence over this run-wide uniform draw.
 	BCWCRatio float64
 
 	// ExecSeed seeds the per-job actual-work draws (default 1). Draws
@@ -206,6 +210,28 @@ func (c *Config) Validate() error {
 	return nil
 }
 
+// Stochastic reports whether any job of this run draws an actual
+// execution time below its WCET — the run-wide BCWCRatio extension or a
+// per-task distribution. When false, the engines skip the exec RNG
+// entirely: the WCET-exact path stays allocation-free and bit-identical
+// to the paper's model.
+func (c *Config) Stochastic() bool {
+	if c.BCWCRatio > 0 && c.BCWCRatio < 1 {
+		return true
+	}
+	for i := range c.Tasks {
+		if c.Tasks[i].Exec != nil {
+			return true
+		}
+	}
+	for _, j := range c.Jobs {
+		if j.Exec != nil {
+			return true
+		}
+	}
+	return false
+}
+
 // Result is the outcome of one run.
 type Result struct {
 	Policy string
@@ -236,12 +262,34 @@ type Result struct {
 	// the column sums.
 	PerTask []*TaskStats
 
+	// Slack is the per-job actual-vs-WCET accounting of stochastic
+	// execution (task.ExecSpec / Config.BCWCRatio): how many jobs drew an
+	// actual work figure, how many completed with unspent budget, and the
+	// total budget they left on the table. All zero for WCET-exact runs.
+	Slack SlackStats
+
+	// SleepTime is the time spent in a DPM sleep state, Wakeups the
+	// number of initiated sleep exits, and DPMOverhead the energy drawn
+	// by enter/exit transitions. All zero when the processor declares no
+	// sleep states (cpu.WithSleepStates).
+	SleepTime   float64
+	Wakeups     int
+	DPMOverhead float64
+
 	Events          uint64
 	ConservationErr float64
 
 	// Degradation tallies how the run bent under injected faults
 	// (Config.Faults); zero for a fault-free run.
 	Degradation metrics.Degradation
+}
+
+// SlackStats tallies the gap between drawn actual execution times and the
+// WCET budgets schedulers plan with.
+type SlackStats struct {
+	DrawnJobs        int     // jobs whose actual work was drawn from a distribution
+	EarlyCompletions int     // completions that left unspent WCET budget
+	ReclaimedWork    float64 // total unspent budget, in work units at f_max
 }
 
 // engine is the per-run mutable state.
@@ -285,6 +333,16 @@ type engine struct {
 	simNow     float64 // time of the last dispatched event
 	dispatched uint64  // events fired across all streams (Result.Events)
 	stopped    bool    // StopAtFirstMiss tripped; drain and finalize at simNow
+
+	// DPM idle-manager state. The machine is: idle → (break-even gate)
+	// sleeping until sleepWake → waking for the state's latency → idle.
+	// A run decision while asleep forces the wake early; the policy is
+	// not consulted again until the latency has elapsed.
+	sleeping  bool
+	sleepIdx  int     // index into the processor's sleep states
+	sleepWake float64 // planned wake-initiation instant
+	waking    bool
+	wakeDone  float64 // wake transition completes here
 
 	deadlineFn des.ArgHandler // shared handler for all deadline events
 	ctx        sched.Context  // rebuilt in place per decision (sched contract)
@@ -421,6 +479,8 @@ func (e *engine) cpuPower() float64 {
 		return e.cfg.CPU.Power(e.level)
 	case ModeIdle:
 		return e.cfg.CPU.IdlePower()
+	case ModeSleep:
+		return e.cfg.CPU.SleepState(e.level).Power
 	default: // ModeStall: the system is down
 		return 0
 	}
@@ -461,6 +521,9 @@ func (e *engine) syncTo(now float64) {
 		case ModeIdle:
 			e.res.IdleTime += dt
 			e.res.CPUEnergy += delivered
+		case ModeSleep:
+			e.res.SleepTime += dt
+			e.res.CPUEnergy += delivered
 		case ModeStall:
 			e.res.StallTime += dt
 		}
@@ -472,7 +535,8 @@ func (e *engine) syncTo(now float64) {
 // setActivity transitions the processor's activity, closing the previous
 // trace segment and counting DVFS switches.
 func (e *engine) setActivity(now float64, mode Mode, j *task.Job, level int) {
-	if mode == e.mode && j == e.running && (mode != ModeRun || level == e.level) {
+	if mode == e.mode && j == e.running &&
+		(mode != ModeRun && mode != ModeSleep || level == e.level) {
 		return
 	}
 	e.closeSegment(now)
@@ -541,10 +605,22 @@ func (e *engine) onArrival(now float64, j *task.Job) {
 	drawn := false
 	if e.execRNG != nil {
 		// Deterministic per-(task, seq) draw, independent of event order.
-		stream := uint64(j.TaskID)<<32 ^ uint64(j.Seq)
-		r := e.execRNG.Child(stream)
-		actual = j.WCET * r.Uniform(e.cfg.BCWCRatio, 1)
-		drawn = true
+		// A per-task distribution (task.ExecSpec) takes precedence over
+		// the run-wide BCWCRatio uniform.
+		if j.Exec != nil {
+			stream := uint64(j.TaskID)<<32 ^ uint64(j.Seq)
+			r := e.execRNG.Child(stream)
+			actual = j.WCET * j.Exec.Ratio(r, j.Seq)
+			drawn = true
+		} else if e.cfg.BCWCRatio > 0 && e.cfg.BCWCRatio < 1 {
+			stream := uint64(j.TaskID)<<32 ^ uint64(j.Seq)
+			r := e.execRNG.Child(stream)
+			actual = j.WCET * r.Uniform(e.cfg.BCWCRatio, 1)
+			drawn = true
+		}
+	}
+	if drawn {
+		e.res.Slack.DrawnJobs++
 	}
 	// Injected overrun: the true work exceeds what the task declared; the
 	// scheduler keeps budgeting the WCET and only the engine knows.
@@ -569,6 +645,7 @@ func (e *engine) onArrival(now float64, j *task.Job) {
 		e.res.Miss.Finished++
 		e.tasks.finished(j, now)
 		e.emit(now, "completion", j)
+		e.noteReclaimed(now, j)
 		return
 	}
 	e.queue.Push(j)
@@ -658,7 +735,20 @@ func (e *engine) finishIfDone(now float64) {
 			e.tasks.finished(j, now)
 		}
 		e.emit(now, "completion", j)
+		e.noteReclaimed(now, j)
 		e.setActivity(now, ModeIdle, nil, 0)
+	}
+}
+
+// noteReclaimed tallies a completing job's unspent WCET budget — the
+// slack a reclaiming policy can fold into later decisions — and emits the
+// early-completion event. A job that ran to its full budget contributes
+// nothing, so WCET-exact runs never reach the body.
+func (e *engine) noteReclaimed(now float64, j *task.Job) {
+	if rem := j.Remaining(); rem > workEps {
+		e.res.Slack.EarlyCompletions++
+		e.res.Slack.ReclaimedWork += rem
+		e.emit(now, "early-completion", j)
 	}
 }
 
@@ -678,6 +768,17 @@ func (e *engine) onDecide(now float64) {
 	// A fresh decision supersedes any pending segment end.
 	e.segTime = math.Inf(1)
 
+	// DPM: a wake transition in progress blocks scheduling — the policy
+	// is not consulted until the latency has elapsed.
+	if e.waking {
+		if now < e.wakeDone {
+			e.scheduleSegmentEnd(now, math.Inf(1), e.wakeDone)
+			return
+		}
+		e.waking, e.sleeping = false, false
+		e.setActivity(now, ModeIdle, nil, 0)
+	}
+
 	// The context struct is reused across decisions — policies must not
 	// retain it past Decide (sched.Context's documented contract).
 	e.ctx = sched.Context{
@@ -687,6 +788,7 @@ func (e *engine) onDecide(now float64) {
 		Capacity:  e.cfg.Store.Capacity(),
 		CPU:       e.cfg.CPU,
 		Predictor: e.cfg.Predictor,
+		Reclaimed: e.res.Slack.ReclaimedWork,
 		Probe:     e.cfg.Probe,
 	}
 	d := e.cfg.Policy.Decide(&e.ctx)
@@ -697,6 +799,16 @@ func (e *engine) onDecide(now float64) {
 	}
 
 	if d.Job == nil {
+		if e.sleeping {
+			if now < e.sleepWake {
+				// Still idle and still ahead of the planned wake: stay in
+				// the sleep state without re-paying the enter energy.
+				e.scheduleSegmentEnd(now, math.Inf(1), e.sleepWake)
+				return
+			}
+			e.initiateWake(now)
+			return
+		}
 		e.setActivity(now, ModeIdle, nil, 0)
 		until := d.Until
 		if idle := e.cfg.CPU.IdlePower(); idle > 0 {
@@ -709,7 +821,20 @@ func (e *engine) onDecide(now float64) {
 			}
 			until = math.Min(until, now+sustain)
 		}
+		if e.cfg.CPU.SleepLevels() > 0 {
+			e.maybeSleep(now, until)
+			if e.sleeping {
+				return
+			}
+		}
 		e.scheduleSegmentEnd(now, math.Inf(1), until)
+		return
+	}
+	if e.sleeping {
+		// The policy wants the processor back before the planned wake:
+		// initiate the wake now; the run decision is re-derived once the
+		// latency has elapsed.
+		e.initiateWake(now)
 		return
 	}
 	if d.Job.Done() {
@@ -751,6 +876,50 @@ func (e *engine) onDecide(now float64) {
 	e.setActivity(now, ModeRun, d.Job, level)
 	completion := now + d.Job.ActualRemaining()/e.cfg.CPU.Speed(level)
 	e.scheduleSegmentEnd(now, completion, math.Min(d.Until, now+sustain))
+}
+
+// maybeSleep is the DPM idle manager: with the processor freshly idle,
+// it parks it in the deepest sleep state whose break-even time plus wake
+// latency fits the guaranteed quiet window — no arrival and no policy
+// re-evaluation before its end (deadline events can still fire, forcing
+// an early wake with the full latency penalty, which is exactly the risk
+// break-even gating prices in). The planned wake initiates one latency
+// early, so the processor is available again right when the window ends.
+func (e *engine) maybeSleep(now, until float64) {
+	winEnd := math.Min(until, e.cfg.Horizon)
+	if e.nextArrival < len(e.release) {
+		winEnd = math.Min(winEnd, e.release[e.nextArrival].Arrival)
+	}
+	idx := e.cfg.CPU.DeepestSleepFor(winEnd - now)
+	if idx < 0 {
+		return
+	}
+	st := e.cfg.CPU.SleepState(idx)
+	if st.EnterEnergy > 0 {
+		e.cfg.Store.Draw(st.EnterEnergy)
+	}
+	e.res.DPMOverhead += st.EnterEnergy
+	e.sleeping = true
+	e.sleepIdx = idx
+	e.sleepWake = winEnd - st.WakeLatency
+	e.setActivity(now, ModeSleep, nil, idx)
+	e.scheduleSegmentEnd(now, math.Inf(1), e.sleepWake)
+}
+
+// initiateWake starts the sleep-exit transition: the exit energy is paid
+// now, and the processor stays unavailable (still drawing the sleep
+// state's power) until the wake latency elapses, when onDecide completes
+// the transition back to idle.
+func (e *engine) initiateWake(now float64) {
+	st := e.cfg.CPU.SleepState(e.sleepIdx)
+	if st.ExitEnergy > 0 {
+		e.cfg.Store.Draw(st.ExitEnergy)
+	}
+	e.res.DPMOverhead += st.ExitEnergy
+	e.res.Wakeups++
+	e.waking = true
+	e.wakeDone = now + st.WakeLatency
+	e.scheduleSegmentEnd(now, math.Inf(1), e.wakeDone)
 }
 
 // scheduleSegmentEnd installs the next forced re-evaluation at

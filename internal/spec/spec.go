@@ -9,8 +9,9 @@
 //   - v2: adds the explicit "schema": 2 marker plus the registry-era
 //     members "policy_params", "task_model" and "task_params"
 //     (self-describing parameter payloads resolved through
-//     internal/registry). A document using any v2-only member without
-//     declaring "schema": 2 is an error, never a silent reinterpretation.
+//     internal/registry) and the DPM preset "sleep". A document using
+//     any v2-only member without declaring "schema": 2 is an error,
+//     never a silent reinterpretation.
 //
 // The contract that makes upgrades free: the "schema" member is
 // excluded from the document's digest identity (Strip), and a v1→v2
@@ -40,7 +41,7 @@ const Current = 2
 // server must reject what it would misread, not quietly drop it.
 // A root-level test cross-checks this list against the eadvfs.Config
 // JSON tags so the two can't drift apart.
-var V2Keys = []string{"policy_params", "task_model", "task_params"}
+var V2Keys = []string{"policy_params", "task_model", "task_params", "sleep"}
 
 // member is one top-level object member with its original order
 // preserved and its value compacted but otherwise untouched.

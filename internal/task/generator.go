@@ -109,7 +109,9 @@ func ReleaseJobs(tasks []Task, horizon float64) []*Job {
 	for _, t := range tasks {
 		seq := 0
 		for a := t.Offset; a < horizon; a += t.Period {
-			jobs = append(jobs, NewJob(t.ID, seq, a, t.Deadline, t.WCET))
+			j := NewJob(t.ID, seq, a, t.Deadline, t.WCET)
+			j.Exec = t.Exec
+			jobs = append(jobs, j)
 			seq++
 		}
 	}

@@ -24,6 +24,12 @@ type Task struct {
 	Deadline float64 // relative deadline
 	WCET     float64 // execution time at f_max
 	Offset   float64 // release time of the first job
+
+	// Exec, when non-nil, makes each released job draw its actual
+	// execution time from the distribution (bounded by WCET); nil keeps
+	// the paper's WCET-exact model. Omitted from JSON when nil, so
+	// pre-existing wire documents keep their digests.
+	Exec *ExecSpec `json:",omitempty"`
 }
 
 // Validate reports whether the descriptor is self-consistent.
@@ -39,6 +45,11 @@ func (t Task) Validate() error {
 		return fmt.Errorf("task %d: wcet %v exceeds deadline %v (never schedulable)", t.ID, t.WCET, t.Deadline)
 	case t.Offset < 0 || math.IsNaN(t.Offset):
 		return fmt.Errorf("task %d: invalid offset %v", t.ID, t.Offset)
+	}
+	if t.Exec != nil {
+		if err := t.Exec.Validate(); err != nil {
+			return fmt.Errorf("task %d: %w", t.ID, err)
+		}
 	}
 	return nil
 }
@@ -62,6 +73,11 @@ type Job struct {
 	Arrival float64 // am (absolute)
 	Abs     float64 // absolute deadline am + dm
 	WCET    float64 // wm, work at f_max
+
+	// Exec is the owning task's execution-time distribution (nil for
+	// WCET-exact jobs). The engine consults it once, at the release
+	// event, to draw the job's actual work.
+	Exec *ExecSpec `json:",omitempty"`
 
 	remaining float64 // budget (WCET-based) work left, at f_max
 	actual    float64 // true work left, at f_max; exceeds remaining only under an injected overrun

@@ -51,9 +51,24 @@ func RandomSpec(seed uint64) *Spec {
 	}
 	s.InitialFrac = r.Float64()
 
-	if r.Intn(10) < 3 {
+	// Execution jitter, two flavors: the legacy global best-case ratio, or
+	// a drawn per-task distribution (task.ExecSpec) shared by the set —
+	// the stochastic-workload subsystem's engine path.
+	switch r.Intn(10) {
+	case 0, 1, 2:
 		s.BCWCRatio = r.Uniform(0.2, 0.9)
 		s.ExecSeed = r.Uint64()
+	case 3, 4:
+		s.ExecSeed = r.Uint64()
+		spec := randomExecSpec(r)
+		for i := range s.Tasks {
+			s.Tasks[i].Exec = &spec
+		}
+	}
+	// DPM: a quarter of specs sleep, so break-even gating, transition
+	// draws and wake latency are all under differential coverage.
+	if r.Intn(4) == 0 {
+		s.Sleep = "default"
 	}
 	if r.Intn(4) == 0 {
 		s.FaultIntensity = r.Uniform(0.05, 0.6)
@@ -78,17 +93,61 @@ func RandomSpecForPolicy(seed uint64, policy string) *Spec {
 	s := RandomSpec(seed)
 	s.Policy = policy
 	s.PolicyParams = nil
-	if def, err := registry.Policy(policy); err == nil && def.HasParam("utilization") {
-		// A distinct stream: perturbing parameters must not reshuffle the
-		// rest of the spec away from RandomSpec(seed)'s draw.
-		pr := rng.New(seed ^ 0x9e3779b97f4a7c15)
+	def, err := registry.Policy(policy)
+	if err != nil {
+		return s
+	}
+	// A distinct stream: perturbing parameters must not reshuffle the
+	// rest of the spec away from RandomSpec(seed)'s draw.
+	pr := rng.New(seed ^ 0x9e3779b97f4a7c15)
+	if def.HasParam("utilization") {
 		s.PolicyParams = map[string]any{"utilization": pr.Uniform(0.1, 0.9)}
+	}
+	if def.HasParam("reclaim_alpha") {
+		s.PolicyParams = map[string]any{
+			"reclaim_alpha": pr.Uniform(0.1, 1),
+			"min_ratio":     pr.Uniform(0, 0.5),
+		}
+		// A reclaiming policy only departs from its inner policy when jobs
+		// complete early; guarantee jitter so the sweep exercises the
+		// decorator's speculative branch, not just its pass-through.
+		if s.BCWCRatio == 0 && (len(s.Tasks) == 0 || s.Tasks[0].Exec == nil) {
+			s.BCWCRatio = pr.Uniform(0.2, 0.9)
+			s.ExecSeed = pr.Uint64()
+		}
 	}
 	return s
 }
 
 func pick(r *rng.RNG, choices ...string) string {
 	return choices[r.Intn(len(choices))]
+}
+
+// randomExecSpec draws one execution-time distribution, covering all four
+// kinds with boundary-friendly parameters (BCRatio 0 and ratio-0 trace
+// slots both appear).
+func randomExecSpec(r *rng.RNG) task.ExecSpec {
+	bc := r.Uniform(0, 0.6)
+	switch r.Intn(4) {
+	case 0:
+		return task.ExecSpec{Dist: task.DistUniform, BCRatio: bc}
+	case 1:
+		return task.ExecSpec{
+			Dist: task.DistNormal, BCRatio: bc,
+			Mean: r.Uniform(bc, 1), StdDev: r.Uniform(0, 0.3),
+		}
+	case 2:
+		return task.ExecSpec{
+			Dist: task.DistBimodal, BCRatio: bc,
+			FastProb: r.Float64(), FastRatio: r.Uniform(bc, 1),
+		}
+	default:
+		slots := make([]float64, 1+r.Intn(8))
+		for i := range slots {
+			slots[i] = r.Float64()
+		}
+		return task.ExecSpec{Dist: task.DistTrace, BCRatio: bc, Slots: slots}
+	}
 }
 
 func randomSource(r *rng.RNG) SourceSpec {

@@ -121,6 +121,11 @@ type Spec struct {
 	// CPU selects the processor preset; empty means "xscale".
 	CPU string `json:"cpu,omitempty"` // "xscale", "two-speed", "pxa270", "sensor-mcu"
 
+	// Sleep names a DPM configuration (cpu.SleepPreset) attached to the
+	// CPU preset on both sides: "" / "none" for the paper's model,
+	// "default" for the nap/deep ladder over a 5%·Pmax idle draw.
+	Sleep string `json:"sleep,omitempty"`
+
 	// MaxEvents is the runaway-watchdog budget applied to both engines
 	// (0 = unlimited).
 	MaxEvents uint64 `json:"max_events,omitempty"`
@@ -225,18 +230,27 @@ func (s *Spec) refPredictor(src energy.Source) (energy.Predictor, error) {
 // after construction, so — unlike sources and predictors — one instance
 // could be shared; fresh instances per side keep the isolation rule simple.
 func cpuFor(s *Spec) *cpu.Processor {
+	var p *cpu.Processor
 	switch s.CPU {
 	case "", "xscale":
-		return cpu.XScale()
+		p = cpu.XScale()
 	case "two-speed":
-		return cpu.TwoSpeed(4)
+		p = cpu.TwoSpeed(4)
 	case "pxa270":
-		return cpu.PXA270()
+		p = cpu.PXA270()
 	case "sensor-mcu":
-		return cpu.SensorNodeMCU()
+		p = cpu.SensorNodeMCU()
 	default:
 		panic(fmt.Sprintf("verify: unknown cpu preset %q", s.CPU))
 	}
+	idle, states, err := cpu.SleepPreset(s.Sleep, p.MaxPower())
+	if err != nil {
+		panic(fmt.Sprintf("verify: %v", err))
+	}
+	if idle > 0 || len(states) > 0 {
+		p = p.WithDPM(idle, states)
+	}
+	return p
 }
 
 func (s *Spec) faults() *fault.Spec {

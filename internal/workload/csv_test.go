@@ -1,0 +1,101 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/eadvfs/eadvfs/internal/task"
+)
+
+func TestReadSlotCSVFractions(t *testing.T) {
+	in := "t,util\n0,0.25\n1,0.5\n2,1\n"
+	slots, err := ReadSlotCSV(strings.NewReader(in), "util")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.25, 0.5, 1}
+	if len(slots) != len(want) {
+		t.Fatalf("got %d slots, want %d", len(slots), len(want))
+	}
+	for i := range want {
+		if slots[i] != want[i] {
+			t.Fatalf("slot %d = %v, want %v", i, slots[i], want[i])
+		}
+	}
+	// The parsed slots must be a valid trace distribution as-is.
+	spec := task.ExecSpec{Dist: task.DistTrace, Slots: slots}
+	if err := spec.Validate(); err != nil {
+		t.Fatalf("parsed slots rejected by ExecSpec: %v", err)
+	}
+}
+
+func TestReadSlotCSVPercents(t *testing.T) {
+	// Any value above 1 flips the whole column to percent scale.
+	in := "time,cpu%\n0,25\n1,50\n2,100\n3,0.5\n"
+	slots, err := ReadSlotCSV(strings.NewReader(in), "cpu%")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.25, 0.5, 1, 0.005}
+	for i := range want {
+		if slots[i] != want[i] {
+			t.Fatalf("slot %d = %v, want %v", i, slots[i], want[i])
+		}
+	}
+}
+
+func TestReadSlotCSVIgnoresOtherColumns(t *testing.T) {
+	in := "ts,core,util,notes\n100,0,0.75,boot\n101,0,0.25,steady\n"
+	slots, err := ReadSlotCSV(strings.NewReader(in), "Util")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slots) != 2 || slots[0] != 0.75 || slots[1] != 0.25 {
+		t.Fatalf("slots = %v", slots)
+	}
+}
+
+func TestReadSlotCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"missing column": "t,power\n0,1\n",
+		"no samples":     "t,util\n",
+		"negative":       "t,util\n0,-0.1\n",
+		"nan":            "t,util\n0,NaN\n",
+		"inf":            "t,util\n0,Inf\n",
+		"not a number":   "t,util\n0,fast\n",
+		"over 100%":      "t,util\n0,250\n",
+		"short row":      "t,util\n0\n",
+		"empty input":    "",
+		"ragged csv":     "t,util\n0,0.5,extra\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadSlotCSV(strings.NewReader(in), "util"); err == nil {
+			t.Errorf("%s: accepted %q", name, in)
+		}
+	}
+}
+
+func FuzzReadSlotCSV(f *testing.F) {
+	f.Add("t,util\n0,0.25\n1,0.5\n")
+	f.Add("util\n1\n0.5\n0\n")
+	f.Add("time,cpu\n0,99\n1,1\n")
+	f.Add("t,util\n0,NaN\n")
+	f.Add("t,util\n0,-1\n")
+	f.Add("\"a\nb\",util\nx,0.5\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		slots, err := ReadSlotCSV(strings.NewReader(in), "util")
+		if err != nil {
+			return
+		}
+		// Whatever parses must be a valid, bounded trace distribution:
+		// the parser's contract is that its output never panics the
+		// downstream spec validation or the engine's ratio draw.
+		if len(slots) == 0 {
+			t.Fatal("nil error with no slots")
+		}
+		spec := task.ExecSpec{Dist: task.DistTrace, Slots: slots}
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("parsed slots rejected downstream: %v", err)
+		}
+	})
+}

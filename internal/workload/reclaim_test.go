@@ -1,0 +1,151 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"github.com/eadvfs/eadvfs/internal/cpu"
+	"github.com/eadvfs/eadvfs/internal/energy"
+	"github.com/eadvfs/eadvfs/internal/obs"
+	"github.com/eadvfs/eadvfs/internal/sched"
+	"github.com/eadvfs/eadvfs/internal/task"
+)
+
+// headQueue is a one-job ReadyView for driving Decide directly.
+type headQueue struct{ j *task.Job }
+
+func (q headQueue) Peek() *task.Job { return q.j }
+func (q headQueue) Len() int {
+	if q.j == nil {
+		return 0
+	}
+	return 1
+}
+
+func ctxFor(j *task.Job, now float64, probe obs.Probe) *sched.Context {
+	return &sched.Context{
+		Now:       now,
+		Queue:     headQueue{j},
+		Stored:    1e6,
+		Capacity:  math.Inf(1),
+		CPU:       cpu.XScale(),
+		Predictor: energy.Zero{},
+		Probe:     probe,
+	}
+}
+
+func TestReclaimerPassThroughWithoutHistory(t *testing.T) {
+	p := NewReclaimer("edf-reclaim", sched.EDF{}, 0.5, 0.1)
+	j := task.NewJob(0, 0, 0, 10, 4)
+	ctx := ctxFor(j, 0, nil)
+	d := p.Decide(ctx)
+	want := sched.EDF{}.Decide(ctx)
+	if d != want {
+		t.Fatalf("no-history decision %+v, want inner's %+v", d, want)
+	}
+}
+
+func TestReclaimerPassThroughOnWCETExactRuns(t *testing.T) {
+	// A job that spends its whole budget observes ratio 1: the estimate
+	// never drops and every later decision is the inner one, untouched —
+	// the compatibility property that keeps WCET-exact runs bit-identical.
+	p := NewReclaimer("edf-reclaim", sched.EDF{}, 0.5, 0.1)
+	j1 := task.NewJob(0, 0, 0, 10, 4)
+	p.Decide(ctxFor(j1, 0, nil))
+	j1.Progress(4) // ran to its full WCET
+	if !j1.Done() {
+		t.Fatal("job not done")
+	}
+	j2 := task.NewJob(0, 1, 10, 10, 4)
+	ctx := ctxFor(j2, 10, nil)
+	d := p.Decide(ctx)
+	want := sched.EDF{}.Decide(ctx)
+	if d != want {
+		t.Fatalf("WCET-exact decision %+v, want inner's %+v", d, want)
+	}
+}
+
+func TestReclaimerSpeculatesAfterEarlyCompletion(t *testing.T) {
+	rec := obs.NewRecorder()
+	p := NewReclaimer("edf-reclaim", sched.EDF{}, 0.5, 0.1)
+
+	// Job 0 declares 4 units and really needs 1: completes with 3 units
+	// of budget unspent, observed ratio 0.25.
+	j1 := task.NewJob(0, 0, 0, 10, 4)
+	p.Decide(ctxFor(j1, 0, rec))
+	j1.SetActualWork(1)
+	j1.Progress(1)
+	if !j1.Done() || j1.Remaining() != 3 {
+		t.Fatalf("early completion setup: done=%v remaining=%v", j1.Done(), j1.Remaining())
+	}
+
+	// est = (1-0.5)·1 + 0.5·0.25 = 0.625 < 1 → the next job of the task
+	// runs at the minimum level feasible for the estimated work, until
+	// the latest safe full-budget start.
+	j2 := task.NewJob(0, 1, 0, 10, 4)
+	ctx := ctxFor(j2, 0, rec)
+	d := p.Decide(ctx)
+	if d.Job != j2 {
+		t.Fatalf("decision job %v, want j2", d.Job)
+	}
+	wantLevel, ok := ctx.CPU.MinLevelFor(4*0.625, 10)
+	if !ok {
+		t.Fatal("estimated work infeasible in test window")
+	}
+	if d.Level != wantLevel {
+		t.Fatalf("speculative level %d, want %d", d.Level, wantLevel)
+	}
+	if d.Level >= ctx.CPU.MaxLevel() {
+		t.Fatalf("speculation did not lower the level: %d", d.Level)
+	}
+	wantGuard := 10 - 4/ctx.CPU.Speed(ctx.CPU.MaxLevel())
+	if d.Until != wantGuard {
+		t.Fatalf("until %v, want guard %v", d.Until, wantGuard)
+	}
+	ds := rec.Decisions()
+	if len(ds) == 0 || ds[len(ds)-1].Reason != obs.ReasonStretchReclaimed {
+		t.Fatalf("last audit %+v, want reason %q", ds[len(ds)-1], obs.ReasonStretchReclaimed)
+	}
+
+	// At the guard instant the full budget only just fits flat-out:
+	// speculation is vetoed and the inner decision passes through.
+	j3 := task.NewJob(0, 2, 0, 10, 4)
+	ctx3 := ctxFor(j3, wantGuard+1, rec)
+	d3 := p.Decide(ctx3)
+	if want := (sched.EDF{}).Decide(ctx3); d3 != want {
+		t.Fatalf("guarded decision %+v, want inner's %+v", d3, want)
+	}
+	ds = rec.Decisions()
+	if ds[len(ds)-1].Reason != obs.ReasonFullSpeedReclaimGuard {
+		t.Fatalf("guard audit reason %q, want %q", ds[len(ds)-1].Reason, obs.ReasonFullSpeedReclaimGuard)
+	}
+}
+
+func TestReclaimerMinRatioFloor(t *testing.T) {
+	p := NewReclaimer("edf-reclaim", sched.EDF{}, 1, 0.5)
+	// alpha=1: one observation replaces the estimate. A zero-work
+	// completion would estimate ratio 0; the floor holds it at 0.5.
+	j1 := task.NewJob(0, 0, 0, 100, 4)
+	p.Decide(ctxFor(j1, 0, nil))
+	j1.SetActualWork(0)
+	if !j1.Done() {
+		t.Fatal("zero-work job not done")
+	}
+	j2 := task.NewJob(0, 1, 0, 100, 4)
+	ctx := ctxFor(j2, 0, nil)
+	d := p.Decide(ctx)
+	wantLevel, _ := ctx.CPU.MinLevelFor(4*0.5, 100)
+	if d.Level != wantLevel {
+		t.Fatalf("floored level %d, want %d", d.Level, wantLevel)
+	}
+}
+
+func TestReclaimerParameterClamping(t *testing.T) {
+	p := NewReclaimer("x", sched.EDF{}, -1, 2)
+	if p.Alpha != 0.5 || p.MinRatio != 0.1 {
+		t.Fatalf("clamped to alpha=%v minRatio=%v, want defaults 0.5/0.1", p.Alpha, p.MinRatio)
+	}
+	if p.Name() != "x" {
+		t.Fatalf("name %q", p.Name())
+	}
+}

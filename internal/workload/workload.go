@@ -1,0 +1,54 @@
+// Package workload is the stochastic-execution scenario subsystem: task
+// sets whose jobs finish early (actual execution drawn from a per-task
+// distribution bounded by the declared WCET), and the online
+// slack-reclamation policy layer that turns those windfalls into lower
+// operating points (Leung/Tsui-style reclamation on top of EA-DVFS or
+// LSA).
+//
+// The paper's model is WCET-exact — every job consumes exactly its
+// declared worst case — which is the right frame for the feasibility
+// analysis of §4 but pessimistic for real firmware, where measured
+// executions routinely come in at a fraction of the budget. This package
+// supplies the pieces the registry exposes for studying that gap:
+//
+//   - StochasticPeriodic: the paper's §5.1 generator with a shared
+//     execution-time distribution (task.ExecSpec) attached to every task,
+//     so each released job draws its actual work seeded and bounded.
+//   - Reclaimer: a policy decorator that observes per-task completions,
+//     tracks an EWMA of the observed actual/WCET ratio, and speculatively
+//     lowers the inner policy's operating point while a latest-safe-start
+//     guard keeps the full-budget fallback feasible.
+//   - ReadSlotCSV: a measured CPU-utilization trace as an execution-time
+//     provider (the "trace" distribution's per-slot ratios).
+//
+// Everything here is registered through internal/registry (policies
+// "ea-dvfs-reclaim" and "lsa-reclaim", task model "stochastic-periodic")
+// with naive mirrors in internal/refimpl, so the differential harness
+// sweeps the whole subsystem bit for bit. This package must not import
+// internal/registry — the registry imports it.
+package workload
+
+import (
+	"github.com/eadvfs/eadvfs/internal/rng"
+	"github.com/eadvfs/eadvfs/internal/task"
+)
+
+// StochasticPeriodic draws a task set with the paper's §5.1 recipe and
+// attaches the execution-time distribution to every task, so released
+// jobs draw actual work from it (bounded by WCET). All tasks share one
+// spec — the distribution describes the *scenario*, not a single task —
+// and the returned tasks alias a single copy of it.
+func StochasticPeriodic(cfg task.GeneratorConfig, exec task.ExecSpec, r *rng.RNG) ([]task.Task, error) {
+	if err := exec.Validate(); err != nil {
+		return nil, err
+	}
+	tasks, err := task.Generate(cfg, r)
+	if err != nil {
+		return nil, err
+	}
+	shared := exec
+	for i := range tasks {
+		tasks[i].Exec = &shared
+	}
+	return tasks, nil
+}

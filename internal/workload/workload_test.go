@@ -1,0 +1,81 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"github.com/eadvfs/eadvfs/internal/rng"
+	"github.com/eadvfs/eadvfs/internal/task"
+)
+
+func TestStochasticPeriodicAttachesSpec(t *testing.T) {
+	cfg := task.GeneratorConfig{
+		NumTasks:         8,
+		Periods:          task.PaperPeriods(),
+		MeanHarvestPower: 10,
+		PMax:             40,
+		TargetU:          0.5,
+	}
+	exec := task.ExecSpec{Dist: task.DistUniform, BCRatio: 0.25}
+	tasks, err := StochasticPeriodic(cfg, exec, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tasks) != cfg.NumTasks {
+		t.Fatalf("got %d tasks, want %d", len(tasks), cfg.NumTasks)
+	}
+	for i, tk := range tasks {
+		if tk.Exec == nil {
+			t.Fatalf("task %d: no exec spec attached", i)
+		}
+		if tk.Exec != tasks[0].Exec {
+			t.Fatalf("task %d: exec spec not shared with task 0", i)
+		}
+		if err := tk.Validate(); err != nil {
+			t.Fatalf("task %d: %v", i, err)
+		}
+	}
+	if u := task.SetUtilization(tasks); math.Abs(u-cfg.TargetU) > 1e-9 {
+		t.Fatalf("utilization %v, want %v", u, cfg.TargetU)
+	}
+}
+
+func TestStochasticPeriodicMatchesPlainGenerator(t *testing.T) {
+	// Same RNG stream, same recipe: the stochastic generator must produce
+	// the exact task set the plain §5.1 generator does, spec aside — the
+	// distribution is an annotation, not a different workload.
+	cfg := task.GeneratorConfig{
+		NumTasks:         6,
+		Periods:          task.PaperPeriods(),
+		MeanHarvestPower: 10,
+		PMax:             40,
+		TargetU:          0.4,
+	}
+	plain, err := task.Generate(cfg, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stoch, err := StochasticPeriodic(cfg, task.ExecSpec{Dist: task.DistUniform}, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain {
+		p, s := plain[i], stoch[i]
+		if p.Period != s.Period || p.Deadline != s.Deadline || p.WCET != s.WCET {
+			t.Fatalf("task %d: (%v,%v,%v) != (%v,%v,%v)",
+				i, s.Period, s.Deadline, s.WCET, p.Period, p.Deadline, p.WCET)
+		}
+	}
+}
+
+func TestStochasticPeriodicRejectsBadSpec(t *testing.T) {
+	cfg := task.GeneratorConfig{
+		NumTasks: 2, Periods: []float64{10}, MeanHarvestPower: 10, PMax: 40, TargetU: 0.3,
+	}
+	if _, err := StochasticPeriodic(cfg, task.ExecSpec{Dist: "nope"}, rng.New(1)); err == nil {
+		t.Fatal("unknown distribution accepted")
+	}
+	if _, err := StochasticPeriodic(cfg, task.ExecSpec{Dist: task.DistTrace}, rng.New(1)); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+}

@@ -211,6 +211,63 @@ func TestSpecCorpusServiceCacheWarm(t *testing.T) {
 	}
 }
 
+// TestSpecCorpusGoldenResults is the behavioral half of the upgrade
+// contract: posting each committed WCET-exact v1 document against a live
+// service must produce a response whose digest matches the committed
+// golden — the simulated results themselves, not just the cache keys,
+// are byte-stable across releases. The stochastic-execution subsystem
+// rides behind strictly opt-in members (BCWCRatio, task_model,
+// task_params, sleep), so no corpus document may ever move.
+// -update regenerates testdata/specs/results.golden.
+func TestSpecCorpusGoldenResults(t *testing.T) {
+	srv := httptest.NewServer(service.New(service.Options{Workers: 2}).Handler())
+	defer srv.Close()
+
+	var lines []string
+	for _, name := range corpusFiles(t) {
+		base := filepath.Base(name)
+		raw, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		endpoint := srv.URL + "/v1/sim"
+		if strings.HasPrefix(base, "sweep_") {
+			endpoint = srv.URL + "/v1/sweep"
+		}
+		resp, err := http.Post(endpoint, "application/json", bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		_, err = buf.ReadFrom(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: POST %s: %d: %s", base, endpoint, resp.StatusCode, buf.String())
+		}
+		lines = append(lines, fmt.Sprintf("%s %s", base, digest.Compact(buf.Bytes())))
+	}
+	got := strings.Join(lines, "\n") + "\n"
+
+	goldenPath := filepath.Join(specDir, "results.golden")
+	if *updateGolden {
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run `go test -run TestSpecCorpusGoldenResults -update .`): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("corpus results drifted from %s — a v1 document no longer simulates to the same bytes.\ngot:\n%swant:\n%s",
+			goldenPath, got, want)
+	}
+}
+
 // TestV2KeysMatchConfigTags cross-checks spec.V2Keys against the
 // eadvfs.Config JSON tags by reflection, so the wire gate and the struct
 // can't drift: every lowercase-tagged member other than "schema" must be
